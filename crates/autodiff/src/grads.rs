@@ -1,0 +1,91 @@
+//! Gradient container returned by the backward pass.
+
+use crate::Var;
+use ema_tensor::Tensor;
+
+/// Gradients for every node of a tape, indexed by [`Var`].
+///
+/// Nodes that did not participate in the loss have no gradient (`None`).
+#[derive(Debug)]
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    pub(crate) fn new(grads: Vec<Option<Tensor>>) -> Self {
+        Self { grads }
+    }
+
+    /// The gradient of the loss with respect to `v`, if `v` influenced
+    /// the loss.
+    #[must_use]
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.index()).and_then(|g| g.as_ref())
+    }
+
+    /// The gradient of `v`, or a zero tensor of the given shape when `v`
+    /// did not influence the loss. Keeps optimizer code branch-free.
+    #[must_use]
+    pub fn get_or_zeros(&self, v: Var, dims: &[usize]) -> Tensor {
+        match self.get(v) {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(dims),
+        }
+    }
+
+    /// Number of slots (== tape length at backward time).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True when the tape was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Global L2 norm across a set of variables' gradients — used for
+    /// gradient clipping diagnostics.
+    #[must_use]
+    pub fn global_norm(&self, vars: &[Var]) -> f64 {
+        let mut acc = 0.0;
+        for &v in vars {
+            if let Some(g) = self.get(v) {
+                acc += g.data().iter().map(|&x| x * x).sum::<f64>();
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    #[test]
+    fn get_or_zeros_for_unused_var() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[2]));
+        let b = tape.leaf(Tensor::ones(&[3]));
+        let loss = tape.sum_all(a);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get_or_zeros(b, &[3]).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(grads.get_or_zeros(a, &[2]).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_norm_matches_manual() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec1(vec![3.0]));
+        let b = tape.leaf(Tensor::from_vec1(vec![4.0]));
+        let s = tape.add(a, b);
+        let p = tape.mul(s, s); // d/da = 2s = 14 for both
+        let loss = tape.sum_all(p);
+        let grads = tape.backward(loss);
+        let norm = grads.global_norm(&[a, b]);
+        let expected = (14.0f64 * 14.0 * 2.0).sqrt();
+        assert!((norm - expected).abs() < 1e-9);
+    }
+}

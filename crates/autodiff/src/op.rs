@@ -1,0 +1,132 @@
+//! The operation descriptor recorded on the tape for each node.
+
+use crate::Var;
+use ema_tensor::Tensor;
+
+/// Describes how a tape node was produced from its parents.
+///
+/// The forward value is stored on the node itself; `Op` carries exactly
+/// the information needed to route gradients backwards. Ops that need
+/// forward-time randomness (dropout) store the sampled mask inline so the
+/// backward pass is deterministic.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// An input with no parents (constant, input data or parameter).
+    Leaf,
+    /// Elementwise sum of two same-shaped nodes.
+    Add(Var, Var),
+    /// Elementwise difference.
+    Sub(Var, Var),
+    /// Elementwise (Hadamard) product.
+    Mul(Var, Var),
+    /// Elementwise quotient.
+    Div(Var, Var),
+    /// Adds a compile-time constant scalar.
+    AddScalar(Var, f64),
+    /// Multiplies by a constant scalar.
+    Scale(Var, f64),
+    /// Matrix product `[m,k] x [k,n]`.
+    Matmul(Var, Var),
+    /// Matrix transpose.
+    Transpose(Var),
+    /// Elementwise `tanh`.
+    Tanh(Var),
+    /// Elementwise logistic sigmoid.
+    Sigmoid(Var),
+    /// Elementwise `max(0, x)`.
+    Relu(Var),
+    /// Elementwise leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f64),
+    /// Elementwise square.
+    Square(Var),
+    /// Softmax over the last axis (rank 1 or 2).
+    SoftmaxLast(Var),
+    /// Sum of all elements, producing a `[1]` tensor.
+    SumAll(Var),
+    /// Mean of all elements, producing a `[1]` tensor.
+    MeanAll(Var),
+    /// `[r,c]` matrix plus a `[c]` row vector broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    /// `[r,c]` matrix times a `[c]` row vector broadcast over rows.
+    MulRowBroadcast(Var, Var),
+    /// Horizontal concatenation of two matrices.
+    HCat(Var, Var),
+    /// Vertical concatenation of two matrices.
+    VCat(Var, Var),
+    /// Row range `[start, end)` of a matrix. Fields: input, start, end.
+    SliceRows(Var, usize, usize),
+    /// Column range `[start, end)` of a matrix.
+    SliceCols(Var, usize, usize),
+    /// Same data viewed under a different shape.
+    Reshape(Var),
+    /// Inverted dropout; the stored mask holds `0` or `1/(1-p)` factors.
+    Dropout(Var, Tensor),
+    /// Stacks rank-1 parents into the rows of a matrix.
+    StackRows(Vec<Var>),
+}
+
+impl Op {
+    /// The parent variables this op reads, in positional order.
+    #[must_use]
+    pub fn parents(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => vec![],
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Div(a, b)
+            | Op::Matmul(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::MulRowBroadcast(a, b)
+            | Op::HCat(a, b)
+            | Op::VCat(a, b) => vec![*a, *b],
+            Op::AddScalar(a, _)
+            | Op::Scale(a, _)
+            | Op::Transpose(a)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Square(a)
+            | Op::SoftmaxLast(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::SliceRows(a, _, _)
+            | Op::SliceCols(a, _, _)
+            | Op::Reshape(a)
+            | Op::Dropout(a, _) => vec![*a],
+            Op::StackRows(vars) => vars.clone(),
+        }
+    }
+
+    /// True for nodes with no parents.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Op::Leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parents_of_binary_ops() {
+        let a = Var::from_raw(0);
+        let b = Var::from_raw(1);
+        assert_eq!(Op::Add(a, b).parents(), vec![a, b]);
+        assert_eq!(Op::Matmul(a, b).parents(), vec![a, b]);
+    }
+
+    #[test]
+    fn parents_of_leaf_is_empty() {
+        assert!(Op::Leaf.parents().is_empty());
+        assert!(Op::Leaf.is_leaf());
+    }
+
+    #[test]
+    fn parents_of_stack_preserves_order() {
+        let vars: Vec<Var> = (0..4).map(Var::from_raw).collect();
+        assert_eq!(Op::StackRows(vars.clone()).parents(), vars);
+    }
+}

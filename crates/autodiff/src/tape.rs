@@ -1,0 +1,437 @@
+//! The tape: node storage, basic elementwise ops and the backward pass.
+
+use crate::{Grads, Op};
+use ema_tensor::Tensor;
+use std::cell::RefCell;
+
+/// A handle to a node on a [`Tape`].
+///
+/// `Var` is a plain index — `Copy`, comparable and hashable — and is only
+/// meaningful for the tape that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Builds a `Var` from a raw index. Exposed for tests and tooling;
+    /// regular code should only use vars returned by tape operations.
+    #[must_use]
+    pub fn from_raw(index: usize) -> Self {
+        Var(index)
+    }
+
+    /// The raw node index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Operations are methods taking `&self`; interior mutability keeps call
+/// sites clean. A tape grows monotonically — build a fresh one per
+/// training step (the models do) rather than clearing.
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            nodes: RefCell::new(Vec::with_capacity(1024)),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no nodes have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Inserts a constant/input/parameter node.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of `v` (cloned).
+    ///
+    /// # Panics
+    /// Panics if `v` does not belong to this tape.
+    #[must_use]
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// The shape dims of `v` without cloning the buffer.
+    #[must_use]
+    pub fn dims(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.0].value.dims().to_vec()
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var(nodes.len() - 1)
+    }
+
+    /// Applies `f` to the values of `vars` and records the result.
+    pub(crate) fn compute<R>(&self, f: impl FnOnce(&[&Tensor]) -> R, vars: &[Var]) -> R {
+        let nodes = self.nodes.borrow();
+        let refs: Vec<&Tensor> = vars.iter().map(|v| &nodes[v.0].value).collect();
+        f(&refs)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise ops
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let out = self.compute(|v| v[0].add(v[1]), &[a, b]);
+        self.push(out, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let out = self.compute(|v| v[0].sub(v[1]), &[a, b]);
+        self.push(out, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let out = self.compute(|v| v[0].mul(v[1]), &[a, b]);
+        self.push(out, Op::Mul(a, b))
+    }
+
+    /// Elementwise quotient `a / b`.
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let out = self.compute(|v| v[0].div(v[1]), &[a, b]);
+        self.push(out, Op::Div(a, b))
+    }
+
+    /// Adds a constant scalar.
+    pub fn add_scalar(&self, a: Var, s: f64) -> Var {
+        let out = self.compute(|v| v[0].add_scalar(s), &[a]);
+        self.push(out, Op::AddScalar(a, s))
+    }
+
+    /// Multiplies by a constant scalar.
+    pub fn scale(&self, a: Var, s: f64) -> Var {
+        let out = self.compute(|v| v[0].scale(s), &[a]);
+        self.push(out, Op::Scale(a, s))
+    }
+
+    /// Elementwise negation (recorded as `scale(-1)`).
+    pub fn neg(&self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&self, a: Var) -> Var {
+        let out = self.compute(|v| v[0].tanh(), &[a]);
+        self.push(out, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let out = self.compute(|v| v[0].sigmoid(), &[a]);
+        self.push(out, Op::Sigmoid(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self, a: Var) -> Var {
+        let out = self.compute(|v| v[0].relu(), &[a]);
+        self.push(out, Op::Relu(a))
+    }
+
+    /// Elementwise leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, a: Var, alpha: f64) -> Var {
+        let out = self.compute(|v| v[0].map(|x| if x >= 0.0 { x } else { alpha * x }), &[a]);
+        self.push(out, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        let out = self.compute(|v| v[0].square(), &[a]);
+        self.push(out, Op::Square(a))
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax_last(&self, a: Var) -> Var {
+        let out = self.compute(|v| v[0].softmax_last(), &[a]);
+        self.push(out, Op::SoftmaxLast(a))
+    }
+
+    /// Sum of all elements, as a `[1]` tensor.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let out = self.compute(|v| Tensor::from_vec1(vec![v[0].sum()]), &[a]);
+        self.push(out, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, as a `[1]` tensor.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let out = self.compute(|v| Tensor::from_vec1(vec![v[0].mean()]), &[a]);
+        self.push(out, Op::MeanAll(a))
+    }
+
+    /// Mean-squared-error loss between a prediction and a target,
+    /// composed from `sub → square → mean_all`.
+    pub fn mse(&self, pred: Var, target: Var) -> Var {
+        let diff = self.sub(pred, target);
+        let sq = self.square(diff);
+        self.mean_all(sq)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from `loss` (which must hold a
+    /// single element) and returns gradients for every node.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar-shaped.
+    #[must_use]
+    pub fn backward(&self, loss: Var) -> Grads {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[loss.0].value.len(),
+            1,
+            "backward requires a scalar loss, got shape {:?}",
+            nodes[loss.0].value.dims()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.0] = Some(Tensor::from_vec1(vec![1.0]));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].clone() else { continue };
+            let node = &nodes[i];
+            let contribs = backward_one(&nodes, &node.op, &node.value, &g);
+            for (parent, contrib) in contribs {
+                match &mut grads[parent.0] {
+                    Some(acc) => *acc = acc.add(&contrib),
+                    slot @ None => *slot = Some(contrib),
+                }
+            }
+        }
+        Grads::new(grads)
+    }
+}
+
+/// Computes the gradient contributions of one node to its parents.
+fn backward_one(
+    nodes: &[Node],
+    op: &Op,
+    out_value: &Tensor,
+    g: &Tensor,
+) -> Vec<(Var, Tensor)> {
+    let val = |v: Var| &nodes[v.0].value;
+    match *op {
+        Op::Leaf => vec![],
+        Op::Add(a, b) => vec![(a, g.clone()), (b, g.clone())],
+        Op::Sub(a, b) => vec![(a, g.clone()), (b, g.neg())],
+        Op::Mul(a, b) => vec![(a, g.mul(val(b))), (b, g.mul(val(a)))],
+        Op::Div(a, b) => {
+            let bv = val(b);
+            let da = g.div(bv);
+            let db = g.mul(val(a)).div(&bv.square()).neg();
+            vec![(a, da), (b, db)]
+        }
+        Op::AddScalar(a, _) => vec![(a, g.clone())],
+        Op::Scale(a, s) => vec![(a, g.scale(s))],
+        Op::Matmul(a, b) => {
+            let da = g.matmul(&val(b).transpose());
+            let db = val(a).transpose().matmul(g);
+            vec![(a, da), (b, db)]
+        }
+        Op::Transpose(a) => vec![(a, g.transpose())],
+        Op::Tanh(a) => {
+            // d tanh = 1 - tanh²; out_value already holds tanh(x).
+            let d = out_value.map(|y| 1.0 - y * y);
+            vec![(a, g.mul(&d))]
+        }
+        Op::Sigmoid(a) => {
+            let d = out_value.map(|y| y * (1.0 - y));
+            vec![(a, g.mul(&d))]
+        }
+        Op::Relu(a) => {
+            let d = val(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+            vec![(a, g.mul(&d))]
+        }
+        Op::LeakyRelu(a, alpha) => {
+            let d = val(a).map(|x| if x >= 0.0 { 1.0 } else { alpha });
+            vec![(a, g.mul(&d))]
+        }
+        Op::Square(a) => vec![(a, g.mul(&val(a).scale(2.0)))],
+        Op::SoftmaxLast(a) => {
+            // grad_in = s ⊙ (g - <g, s>_row) per row.
+            let s = out_value;
+            let (rows, cols) = if s.rank() == 1 {
+                (1, s.len())
+            } else {
+                (s.dims()[0], s.dims()[1])
+            };
+            let mut out = g.clone();
+            for r in 0..rows {
+                let mut dot = 0.0;
+                for c in 0..cols {
+                    dot += g.data()[r * cols + c] * s.data()[r * cols + c];
+                }
+                for c in 0..cols {
+                    let i = r * cols + c;
+                    out.data_mut()[i] = s.data()[i] * (g.data()[i] - dot);
+                }
+            }
+            vec![(a, out)]
+        }
+        Op::SumAll(a) => {
+            let gv = g.data()[0];
+            vec![(a, Tensor::filled(val(a).dims(), gv))]
+        }
+        Op::MeanAll(a) => {
+            let n = val(a).len() as f64;
+            let gv = g.data()[0] / n;
+            vec![(a, Tensor::filled(val(a).dims(), gv))]
+        }
+        Op::AddRowBroadcast(m, r) => {
+            vec![(m, g.clone()), (r, g.col_sums())]
+        }
+        Op::MulRowBroadcast(m, r) => {
+            let dm = g.mul_row_broadcast(val(r));
+            let dr = g.mul(val(m)).col_sums();
+            vec![(m, dm), (r, dr)]
+        }
+        Op::HCat(a, b) => {
+            let ca = val(a).dims()[1];
+            let total = out_value.dims()[1];
+            vec![
+                (a, g.slice_cols(0, ca)),
+                (b, g.slice_cols(ca, total)),
+            ]
+        }
+        Op::VCat(a, b) => {
+            let ra = val(a).dims()[0];
+            let total = out_value.dims()[0];
+            vec![
+                (a, g.slice_rows(0, ra)),
+                (b, g.slice_rows(ra, total)),
+            ]
+        }
+        Op::SliceRows(a, start, end) => {
+            let dims = val(a).dims().to_vec();
+            let mut da = Tensor::zeros(&dims);
+            let n = dims[1];
+            da.data_mut()[start * n..end * n].copy_from_slice(g.data());
+            vec![(a, da)]
+        }
+        Op::SliceCols(a, start, end) => {
+            let dims = val(a).dims().to_vec();
+            let mut da = Tensor::zeros(&dims);
+            let (m, n) = (dims[0], dims[1]);
+            let w = end - start;
+            for i in 0..m {
+                da.data_mut()[i * n + start..i * n + end]
+                    .copy_from_slice(&g.data()[i * w..(i + 1) * w]);
+            }
+            vec![(a, da)]
+        }
+        Op::Reshape(a) => {
+            let dims = val(a).dims().to_vec();
+            vec![(a, g.reshaped(&dims))]
+        }
+        Op::Dropout(a, ref mask) => vec![(a, g.mul(mask))],
+        Op::StackRows(ref vars) => vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, g.row(i)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_backward_distributes() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec1(vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec1(vec![3.0, 4.0]));
+        let s = tape.add(a, b);
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_backward_swaps_operands() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec1(vec![2.0, 3.0]));
+        let b = tape.leaf(Tensor::from_vec1(vec![5.0, 7.0]));
+        let p = tape.mul(a, b);
+        let loss = tape.sum_all(p);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn fanout_accumulates() {
+        // loss = sum(a + a) → da = 2.
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec1(vec![1.0]));
+        let s = tape.add(a, a);
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn mse_of_equal_inputs_has_zero_grad() {
+        let tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec1(vec![1.0, 2.0]));
+        let t = tape.leaf(Tensor::from_vec1(vec![1.0, 2.0]));
+        let loss = tape.mse(p, t);
+        assert_eq!(tape.value(loss).data(), &[0.0]);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(p).unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec1(vec![1.0, 2.0]));
+        let _ = tape.backward(a);
+    }
+
+    #[test]
+    fn unused_nodes_have_no_grad() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec1(vec![1.0]));
+        let b = tape.leaf(Tensor::from_vec1(vec![1.0]));
+        let loss = tape.sum_all(a);
+        let grads = tape.backward(loss);
+        assert!(grads.get(b).is_none());
+    }
+}

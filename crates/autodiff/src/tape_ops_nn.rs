@@ -1,0 +1,140 @@
+//! Neural-network-specific tape operations (dropout, attention helpers).
+
+use crate::{Op, Tape, Var};
+use ema_tensor::{Rng64, Tensor};
+
+impl Tape {
+    /// Inverted dropout: zeroes each element with probability `rate` and
+    /// scales survivors by `1 / (1 - rate)` so the expectation is
+    /// unchanged. When `training` is false this is the identity.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate < 1`.
+    pub fn dropout(&self, a: Var, rate: f64, training: bool, rng: &mut Rng64) -> Var {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        if !training || rate == 0.0 {
+            return a;
+        }
+        let keep = 1.0 - rate;
+        let dims = self.dims(a);
+        let mut mask = Tensor::zeros(&dims);
+        for v in mask.data_mut() {
+            if rng.bernoulli(keep) {
+                *v = 1.0 / keep;
+            }
+        }
+        let out = self.compute(|v| v[0].mul(&mask), &[a]);
+        self.push(out, Op::Dropout(a, mask))
+    }
+
+    /// Scaled dot-product attention score matrix:
+    /// `softmax((q · kᵀ) / sqrt(d))` for `q: [n, d]`, `k: [m, d]`,
+    /// producing `[n, m]` attention weights.
+    pub fn attention_scores(&self, q: Var, k: Var) -> Var {
+        let d = self.dims(q)[1] as f64;
+        let kt = self.transpose(k);
+        let logits = self.matmul(q, kt);
+        let scaled = self.scale(logits, 1.0 / d.sqrt());
+        self.softmax_last(scaled)
+    }
+
+    /// Full scaled dot-product attention: `scores(q, k) · v`.
+    pub fn attention(&self, q: Var, k: Var, v: Var) -> Var {
+        let scores = self.attention_scores(q, k);
+        self.matmul(scores, v)
+    }
+
+    /// Gated tanh unit used by MTGNN's temporal convolutions:
+    /// `tanh(a) ⊙ sigmoid(b)`.
+    pub fn gated_tanh(&self, a: Var, b: Var) -> Var {
+        let filt = self.tanh(a);
+        let gate = self.sigmoid(b);
+        self.mul(filt, gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_identity_when_not_training() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(0);
+        let a = tape.leaf(Tensor::ones(&[4, 4]));
+        let d = tape.dropout(a, 0.5, false, &mut rng);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(1);
+        let a = tape.leaf(Tensor::ones(&[100, 100]));
+        let d = tape.dropout(a, 0.3, true, &mut rng);
+        let m = tape.value(d).mean();
+        assert!((m - 1.0).abs() < 0.05, "dropout mean {m} drifted from 1");
+    }
+
+    #[test]
+    fn dropout_zeroes_fraction() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(2);
+        let a = tape.leaf(Tensor::ones(&[100, 100]));
+        let d = tape.dropout(a, 0.3, true, &mut rng);
+        let zeros = tape.value(d).data().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "zero rate {rate}");
+    }
+
+    #[test]
+    fn dropout_grad_matches_mask() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(3);
+        let a = tape.leaf(Tensor::ones(&[10, 10]));
+        let d = tape.dropout(a, 0.5, true, &mut rng);
+        let loss = tape.sum_all(d);
+        let grads = tape.backward(loss);
+        let g = grads.get(a).unwrap();
+        // grad equals the mask itself (0 or 2).
+        assert!(g.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn attention_rows_are_convex_weights() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(4);
+        let q = tape.leaf(Tensor::rand_normal(&[3, 8], 0.0, 1.0, &mut rng));
+        let k = tape.leaf(Tensor::rand_normal(&[5, 8], 0.0, 1.0, &mut rng));
+        let s = tape.attention_scores(q, k);
+        let sv = tape.value(s);
+        assert_eq!(sv.dims(), &[3, 5]);
+        for r in 0..3 {
+            assert!((sv.row(r).sum() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn attention_output_shape() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(5);
+        let q = tape.leaf(Tensor::rand_normal(&[3, 8], 0.0, 1.0, &mut rng));
+        let k = tape.leaf(Tensor::rand_normal(&[5, 8], 0.0, 1.0, &mut rng));
+        let v = tape.leaf(Tensor::rand_normal(&[5, 6], 0.0, 1.0, &mut rng));
+        let out = tape.attention(q, k, v);
+        assert_eq!(tape.dims(out), vec![3, 6]);
+    }
+
+    #[test]
+    fn gated_tanh_bounded() {
+        let tape = Tape::new();
+        let mut rng = Rng64::seed_from(6);
+        let a = tape.leaf(Tensor::rand_normal(&[4, 4], 0.0, 3.0, &mut rng));
+        let b = tape.leaf(Tensor::rand_normal(&[4, 4], 0.0, 3.0, &mut rng));
+        let g = tape.gated_tanh(a, b);
+        assert!(tape.value(g).data().iter().all(|&v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,395 @@
+//! Central finite-difference gradient checks for every differentiable op.
+//!
+//! Each test perturbs the *input* tensor elementwise and compares the
+//! analytic tape gradient against a central difference. This is the
+//! ground-truth safety net for all model training in the workspace.
+
+use ema_autodiff::check::assert_gradients_close;
+use ema_autodiff::Tape;
+use ema_tensor::{Rng64, Tensor};
+
+const TOL: f64 = 1e-5;
+
+fn rand(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng64::seed_from(seed);
+    Tensor::rand_normal(dims, 0.0, 1.0, &mut rng)
+}
+
+#[test]
+fn grad_add() {
+    let x = rand(&[3, 4], 1);
+    let other = rand(&[3, 4], 2);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let s = t.add(v, o);
+        let sq = t.square(s);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_sub_both_sides() {
+    let x = rand(&[2, 3], 3);
+    let other = rand(&[2, 3], 4);
+    // x as minuend
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let s = t.sub(v, o);
+        let sq = t.square(s);
+        t.sum_all(sq)
+    });
+    // x as subtrahend
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let s = t.sub(o, v);
+        let sq = t.square(s);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mul() {
+    let x = rand(&[4], 5);
+    let other = rand(&[4], 6);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let p = t.mul(v, o);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_div_numerator_and_denominator() {
+    let x = rand(&[4], 7).map(|v| v + 3.0); // keep away from zero
+    let other = rand(&[4], 8).map(|v| v + 3.0);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let q = t.div(v, o);
+        t.sum_all(q)
+    });
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let q = t.div(o, v);
+        t.sum_all(q)
+    });
+}
+
+#[test]
+fn grad_scale_and_add_scalar() {
+    let x = rand(&[5], 9);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let a = t.scale(v, -2.5);
+        let b = t.add_scalar(a, 7.0);
+        let sq = t.square(b);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_lhs_and_rhs() {
+    let x = rand(&[3, 4], 10);
+    let other = rand(&[4, 2], 11);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let p = t.matmul(v, o);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    let x2 = rand(&[4, 2], 12);
+    let lhs = rand(&[3, 4], 13);
+    assert_gradients_close(&x2, TOL, |t, v| {
+        let l = t.leaf(lhs.clone());
+        let p = t.matmul(l, v);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_transpose() {
+    let x = rand(&[3, 5], 14);
+    let w = rand(&[3, 5], 15);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let tr = t.transpose(v);
+        let tr2 = t.transpose(tr);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(tr2, wl);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_tanh() {
+    let x = rand(&[6], 16);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let y = t.tanh(v);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_sigmoid() {
+    let x = rand(&[6], 17);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let y = t.sigmoid(v);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_relu_away_from_kink() {
+    // Shift all values away from 0 so the finite difference is valid.
+    let x = rand(&[8], 18).map(|v| if v.abs() < 0.1 { v + 0.5 } else { v });
+    assert_gradients_close(&x, TOL, |t, v| {
+        let y = t.relu(v);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_leaky_relu() {
+    let x = rand(&[8], 19).map(|v| if v.abs() < 0.1 { v + 0.5 } else { v });
+    assert_gradients_close(&x, TOL, |t, v| {
+        let y = t.leaky_relu(v, 0.2);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_square() {
+    let x = rand(&[7], 20);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let y = t.square(v);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_softmax_vector() {
+    let x = rand(&[5], 21);
+    let w = Tensor::from_vec1(vec![1.0, -2.0, 3.0, 0.5, 2.0]);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let s = t.softmax_last(v);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(s, wl);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_softmax_matrix_rows() {
+    let x = rand(&[3, 4], 22);
+    let w = rand(&[3, 4], 23);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let s = t.softmax_last(v);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(s, wl);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_mean_all() {
+    let x = rand(&[4, 4], 24);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let sq = t.square(v);
+        t.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_add_row_broadcast_matrix_and_row() {
+    let m = rand(&[4, 3], 25);
+    let row = rand(&[3], 26);
+    assert_gradients_close(&m, TOL, |t, v| {
+        let r = t.leaf(row.clone());
+        let y = t.add_row_broadcast(v, r);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&row, TOL, |t, v| {
+        let ml = t.leaf(m.clone());
+        let y = t.add_row_broadcast(ml, v);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mul_row_broadcast_matrix_and_row() {
+    let m = rand(&[4, 3], 27);
+    let row = rand(&[3], 28);
+    assert_gradients_close(&m, TOL, |t, v| {
+        let r = t.leaf(row.clone());
+        let y = t.mul_row_broadcast(v, r);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&row, TOL, |t, v| {
+        let ml = t.leaf(m.clone());
+        let y = t.mul_row_broadcast(ml, v);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_hcat_vcat() {
+    let x = rand(&[3, 2], 29);
+    let other = rand(&[3, 4], 30);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let c = t.hcat(v, o);
+        let sq = t.square(c);
+        t.sum_all(sq)
+    });
+    let x2 = rand(&[2, 3], 31);
+    let other2 = rand(&[4, 3], 32);
+    assert_gradients_close(&x2, TOL, |t, v| {
+        let o = t.leaf(other2.clone());
+        let c = t.vcat(o, v);
+        let sq = t.square(c);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_slices() {
+    let x = rand(&[5, 4], 33);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let s = t.slice_rows(v, 1, 4);
+        let sq = t.square(s);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&x, TOL, |t, v| {
+        let s = t.slice_cols(v, 0, 2);
+        let sq = t.square(s);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_reshape() {
+    let x = rand(&[2, 6], 34);
+    let w = rand(&[3, 4], 35);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let r = t.reshape(v, &[3, 4]);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(r, wl);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_stack_rows() {
+    let x = rand(&[4], 36);
+    let other = rand(&[4], 37);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let m = t.stack_rows(&[v, o, v]); // reuse to test accumulation
+        let sq = t.square(m);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mse() {
+    let x = rand(&[3, 4], 38);
+    let target = rand(&[3, 4], 39);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let tgt = t.leaf(target.clone());
+        t.mse(v, tgt)
+    });
+}
+
+#[test]
+fn grad_attention_composite() {
+    // Differentiates through softmax-attention end to end.
+    let q = rand(&[3, 4], 40);
+    let k = rand(&[5, 4], 41);
+    let v_ = rand(&[5, 2], 42);
+    assert_gradients_close(&q, 1e-4, |t, var| {
+        let kl = t.leaf(k.clone());
+        let vl = t.leaf(v_.clone());
+        let out = t.attention(var, kl, vl);
+        let sq = t.square(out);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&k, 1e-4, |t, var| {
+        let ql = t.leaf(q.clone());
+        let vl = t.leaf(v_.clone());
+        let out = t.attention(ql, var, vl);
+        let sq = t.square(out);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_gated_tanh() {
+    let x = rand(&[4, 4], 43);
+    let other = rand(&[4, 4], 44);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let g = t.gated_tanh(v, o);
+        t.sum_all(g)
+    });
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let g = t.gated_tanh(o, v);
+        t.sum_all(g)
+    });
+}
+
+#[test]
+fn grad_deep_composition() {
+    // A small MLP-like composition exercising many ops together.
+    let x = rand(&[4, 3], 45);
+    let w1 = rand(&[5, 3], 46);
+    let b1 = rand(&[5], 47);
+    let w2 = rand(&[2, 5], 48);
+    let b2 = rand(&[2], 49);
+    let target = rand(&[4, 2], 50);
+    assert_gradients_close(&x, 1e-4, |t, v| {
+        let w1l = t.leaf(w1.clone());
+        let b1l = t.leaf(b1.clone());
+        let w2l = t.leaf(w2.clone());
+        let b2l = t.leaf(b2.clone());
+        let h = t.linear(v, w1l, b1l);
+        let a = t.tanh(h);
+        let y = t.linear(a, w2l, b2l);
+        let tgt = t.leaf(target.clone());
+        t.mse(y, tgt)
+    });
+}
+
+#[test]
+fn grad_linear_weight() {
+    // Check gradient w.r.t. the weight matrix too.
+    let w = rand(&[5, 3], 51);
+    let x = rand(&[4, 3], 52);
+    let b = rand(&[5], 53);
+    assert_gradients_close(&w, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let bl = t.leaf(b.clone());
+        let y = t.linear(xl, v, bl);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn tape_reuse_multiple_backwards() {
+    // Two backward passes over the same tape agree.
+    let tape = Tape::new();
+    let x = tape.leaf(rand(&[3], 54));
+    let y = tape.square(x);
+    let loss = tape.sum_all(y);
+    let g1 = tape.backward(loss);
+    let g2 = tape.backward(loss);
+    assert_eq!(g1.get(x).unwrap().data(), g2.get(x).unwrap().data());
+}

@@ -1,0 +1,51 @@
+//! Benchmarks of the graph-construction metrics at paper scale
+//! (T = 140 time points, V = 26 variables).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ema_similarity::{build_graph, dtw, GraphMetric};
+use ema_tensor::{Rng64, Tensor};
+
+fn paper_scale_data() -> Tensor {
+    let mut rng = Rng64::seed_from(7);
+    Tensor::rand_normal(&[140, 26], 0.0, 1.0, &mut rng)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let data = paper_scale_data();
+    for metric in [
+        GraphMetric::Euclidean,
+        GraphMetric::Knn(5),
+        GraphMetric::Correlation,
+        GraphMetric::Cosine,
+    ] {
+        c.bench_function(&format!("build_graph_{}", metric.label()), |b| {
+            b.iter(|| build_graph(black_box(&data), metric))
+        });
+    }
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(8);
+    let x: Vec<f64> = (0..140).map(|_| rng.normal()).collect();
+    let y: Vec<f64> = (0..140).map(|_| rng.normal()).collect();
+    c.bench_function("dtw_full_140", |b| {
+        b.iter(|| dtw::dtw_distance(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("dtw_band10_140", |b| {
+        b.iter(|| dtw::dtw_distance_banded(black_box(&x), black_box(&y), 10))
+    });
+    let data = paper_scale_data();
+    c.bench_function("dtw_graph_140x26", |b| {
+        b.iter(|| dtw::dtw_graph(black_box(&data)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_metrics, bench_dtw
+}
+criterion_main!(benches);

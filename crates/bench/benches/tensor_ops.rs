@@ -1,0 +1,50 @@
+//! Microbenchmarks of the tensor substrate at EMA-relevant sizes
+//! (V = 26 variables, hidden = 32).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ema_tensor::{Rng64, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(1);
+    let a = Tensor::rand_normal(&[26, 32], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[32, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_26x32_32x32", |bencher| {
+        bencher.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+
+    let big_a = Tensor::rand_normal(&[128, 128], 0.0, 1.0, &mut rng);
+    let big_b = Tensor::rand_normal(&[128, 128], 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_128x128", |bencher| {
+        bencher.iter(|| black_box(&big_a).matmul(black_box(&big_b)))
+    });
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(2);
+    let a = Tensor::rand_normal(&[26, 32], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[26, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("elementwise_add_26x32", |bencher| {
+        bencher.iter(|| black_box(&a).add(black_box(&b)))
+    });
+    c.bench_function("tanh_26x32", |bencher| {
+        bencher.iter(|| black_box(&a).tanh())
+    });
+    c.bench_function("softmax_rows_26x32", |bencher| {
+        bencher.iter(|| black_box(&a).softmax_last())
+    });
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(3);
+    let a = Tensor::rand_normal(&[140, 26], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[140, 26], 0.0, 1.0, &mut rng);
+    c.bench_function("mse_140x26", |bencher| {
+        bencher.iter(|| black_box(&a).mse(black_box(&b)))
+    });
+    c.bench_function("col_sums_140x26", |bencher| {
+        bencher.iter(|| black_box(&a).col_sums())
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_elementwise, bench_reductions);
+criterion_main!(benches);

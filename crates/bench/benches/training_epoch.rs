@@ -1,0 +1,60 @@
+//! Benchmarks of one full-batch training epoch per model on a
+//! paper-sized individual (T ≈ 140, V = 26, Seq5): the unit of work the
+//! experiments repeat 300 times per individual. (The series is
+//! shortened to T = 80 and sampling kept small so the suite stays
+//! tractable on a single core; relative model costs are unaffected.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ema_autodiff::Tape;
+use ema_data::{make_windows, split_train_test};
+use ema_graph::AdjacencyMatrix;
+use ema_models::{build_model, ForwardCtx, ModelConfig, ModelKind};
+use ema_nn::{Adam, Optimizer, OptimizerConfig};
+use ema_tensor::{Rng64, Tensor};
+
+const V: usize = 26;
+const SEQ: usize = 5;
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(1);
+    let data = Tensor::rand_normal(&[80, V], 0.0, 1.0, &mut rng);
+    let (train, _) = split_train_test(&data, 0.7);
+    let windows = make_windows(&train, SEQ);
+    let targets = windows.targets_matrix();
+    let graph = AdjacencyMatrix::new(Tensor::rand_uniform(&[V, V], 0.0, 1.0, &mut rng));
+
+    for kind in ModelKind::all() {
+        let g = if kind.uses_graph() { Some(&graph) } else { None };
+        let mut model = build_model(kind, V, SEQ, &ModelConfig::default(), g);
+        let mut adam = Adam::new(OptimizerConfig::with_learning_rate(0.01));
+        let mut drop_rng = Rng64::seed_from(2);
+        c.bench_function(&format!("train_epoch_{}", kind.label()), |b| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let binding = model.params().bind(&tape);
+                let mut ctx = ForwardCtx::train(&mut drop_rng);
+                let preds: Vec<_> = windows
+                    .inputs
+                    .iter()
+                    .map(|w| model.predict_window(&tape, &binding, w, &mut ctx))
+                    .collect();
+                let stacked = tape.stack_rows(&preds);
+                let tgt = tape.leaf(targets.clone());
+                let loss = tape.mse(stacked, tgt);
+                let grads = tape.backward(loss);
+                adam.step(model.params_mut(), &binding, &grads);
+                black_box(tape.value(loss))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_epoch
+}
+criterion_main!(benches);

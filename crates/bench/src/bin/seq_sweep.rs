@@ -1,0 +1,20 @@
+//! Input-length sweep (paper future work): how the window length
+//! affects LSTM, MTGNN and ASTGCN.
+
+use ema_bench::{describe_scale, save_json, scale_from_args};
+use ema_core::experiments::run_seq_sweep;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Input-length sweep ({})\n", describe_scale(&scale));
+    let started = std::time::Instant::now();
+    let table = run_seq_sweep(&scale);
+    println!("{}", table.render());
+    println!("elapsed: {:.1?}\n", started.elapsed());
+    println!("paper context: Table II tests Seq1/2/5 and finds multi-step input");
+    println!("slightly better; this sweep extends the axis to 10 steps.");
+
+    if let Some(path) = save_json("seq_sweep", &table.to_json()) {
+        println!("run recorded at {}", path.display());
+    }
+}

@@ -1,0 +1,148 @@
+//! # ema-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation, plus Criterion microbenchmarks of the substrate.
+//!
+//! ## Table/figure binaries
+//!
+//! | Binary | Paper artifact | Run |
+//! |--------|----------------|-----|
+//! | `table1` | Table I (scenario grid) | `cargo run --release -p ema-bench --bin table1` |
+//! | `table2` | Table II (Experiment A) | `cargo run --release -p ema-bench --bin table2 -- --scale quick` |
+//! | `table3` | Table III (Experiment B) | `cargo run --release -p ema-bench --bin table3 -- --scale quick` |
+//! | `fig3`   | Fig. 3 (Experiment C) | `cargo run --release -p ema-bench --bin fig3 -- --scale quick` |
+//! | `ablation` | design-choice ablations | `cargo run --release -p ema-bench --bin ablation -- --scale quick` |
+//!
+//! `--scale` is `tiny` (seconds), `quick` (minutes, default) or `full`
+//! (the paper's N=100/V=26/300-epoch setting; hours of CPU). Each binary
+//! prints the regenerated artifact next to the paper's reference values
+//! and writes a JSON record under `results/`.
+
+#![warn(missing_docs)]
+
+use ema_core::experiments::ExperimentScale;
+use std::path::PathBuf;
+
+/// Parses `--scale {tiny|quick|full}` from CLI args (default: quick).
+///
+/// # Panics
+/// Panics with usage help on an unknown scale name.
+#[must_use]
+pub fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = "quick".to_string();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--scale" {
+            scale = iter
+                .next()
+                .expect("--scale requires a value: tiny | quick | full")
+                .clone();
+        }
+    }
+    match scale.as_str() {
+        "tiny" => ExperimentScale::tiny(),
+        "quick" => ExperimentScale::quick(),
+        "full" => ExperimentScale::full(),
+        other => panic!("unknown scale {other:?}; use tiny | quick | full"),
+    }
+}
+
+/// Human-readable description of a scale, for run records.
+#[must_use]
+pub fn describe_scale(scale: &ExperimentScale) -> String {
+    format!(
+        "N={} V={} T̄={} epochs={} hidden={}",
+        scale.num_individuals,
+        scale.num_variables,
+        scale.mean_time_points,
+        scale.epochs,
+        scale.hidden
+    )
+}
+
+/// Writes a JSON record under `results/<name>.json` (created on demand),
+/// returning the path. Failures are reported but non-fatal — the table
+/// was already printed.
+pub fn save_json(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// The paper's reference values for Table II (Seq5 column), used by the
+/// binaries to print side-by-side comparisons.
+pub const PAPER_TABLE2_SEQ5: [(&str, f64); 13] = [
+    ("Baseline LSTM", 1.022),
+    ("A3TGCN_EUC", 1.034),
+    ("ASTGCN_EUC", 0.885),
+    ("MTGNN_EUC", 0.845),
+    ("A3TGCN_DTW", 1.034),
+    ("ASTGCN_DTW", 0.883),
+    ("MTGNN_DTW", 0.846),
+    ("A3TGCN_kNN", 1.035),
+    ("ASTGCN_kNN", 0.893),
+    ("MTGNN_kNN", 0.841),
+    ("A3TGCN_CORR", 1.027),
+    ("ASTGCN_CORR", 0.885),
+    ("MTGNN_CORR", 0.840),
+];
+
+/// The paper's Table III reference values at GDT = 20% (Seq5).
+pub const PAPER_TABLE3_GDT20: [(&str, f64); 15] = [
+    ("A3TGCN_EUC", 1.034),
+    ("ASTGCN_EUC", 0.885),
+    ("MTGNN_EUC", 0.845),
+    ("A3TGCN_DTW", 1.034),
+    ("ASTGCN_DTW", 0.883),
+    ("MTGNN_DTW", 0.846),
+    ("A3TGCN_kNN", 1.035),
+    ("ASTGCN_kNN", 0.893),
+    ("MTGNN_kNN", 0.841),
+    ("A3TGCN_CORR", 1.027),
+    ("ASTGCN_CORR", 0.885),
+    ("MTGNN_CORR", 0.840),
+    ("A3TGCN_RAND", 1.032),
+    ("ASTGCN_RAND", 1.059),
+    ("MTGNN_RAND", 0.849),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_mentions_dimensions() {
+        let s = ExperimentScale::full();
+        let d = describe_scale(&s);
+        assert!(d.contains("N=100"));
+        assert!(d.contains("V=26"));
+        assert!(d.contains("epochs=300"));
+    }
+
+    #[test]
+    fn paper_references_have_expected_orderings() {
+        // MTGNN < ASTGCN < LSTM in the paper for every metric.
+        let get = |name: &str| {
+            PAPER_TABLE2_SEQ5
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        for metric in ["EUC", "DTW", "kNN", "CORR"] {
+            assert!(get(&format!("MTGNN_{metric}")) < get(&format!("ASTGCN_{metric}")));
+            assert!(get(&format!("ASTGCN_{metric}")) < get("Baseline LSTM"));
+        }
+    }
+}

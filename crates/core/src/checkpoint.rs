@@ -1,0 +1,199 @@
+//! Model checkpointing: serialise a [`ParamStore`] to JSON and restore
+//! it, so a personalized model trained once can be reused (e.g. the
+//! Experiment-C plumbing, or deployment after a study).
+
+use ema_nn::ParamStore;
+use ema_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Serialisable snapshot of every parameter in a store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameter entries in registration order.
+    pub params: Vec<ParamEntry>,
+}
+
+/// One named tensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamEntry {
+    /// Diagnostic name (e.g. `"lstm.w_ih"`).
+    pub name: String,
+    /// Tensor dims.
+    pub dims: Vec<usize>,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// Captures the current parameter values of a store.
+    #[must_use]
+    pub fn capture(store: &ParamStore) -> Self {
+        let params = store
+            .ids()
+            .into_iter()
+            .map(|id| {
+                let t = store.value(id);
+                ParamEntry {
+                    name: store.name(id).to_string(),
+                    dims: t.dims().to_vec(),
+                    data: t.data().to_vec(),
+                }
+            })
+            .collect();
+        Self { params }
+    }
+
+    /// Restores the snapshot into a store with an *identical layout*
+    /// (same registration order, names and shapes — i.e. the same model
+    /// architecture and config).
+    ///
+    /// # Errors
+    /// Returns `io::Error` with `InvalidData` on any name/shape
+    /// mismatch, leaving already-written parameters in place.
+    pub fn restore(&self, store: &mut ParamStore) -> io::Result<()> {
+        let ids = store.ids();
+        if ids.len() != self.params.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint has {} params, store has {}",
+                    self.params.len(),
+                    ids.len()
+                ),
+            ));
+        }
+        for (id, entry) in ids.into_iter().zip(self.params.iter()) {
+            if store.name(id) != entry.name {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "parameter name mismatch: store {:?} vs checkpoint {:?}",
+                        store.name(id),
+                        entry.name
+                    ),
+                ));
+            }
+            if store.value(id).dims() != entry.dims.as_slice() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shape mismatch for {:?}: {:?} vs {:?}",
+                        entry.name,
+                        store.value(id).dims(),
+                        entry.dims
+                    ),
+                ));
+            }
+            let tensor = Tensor::from_vec(&entry.dims, entry.data.clone())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            store.load(id, tensor);
+        }
+        Ok(())
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Panics
+    /// Never in practice.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialises")
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    /// Returns `io::Error` with `InvalidData` on malformed JSON.
+    pub fn from_json(json: &str) -> io::Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    /// Propagates filesystem and parse errors.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_models::{build_model, ModelConfig, ModelKind};
+    use ema_tensor::Rng64;
+
+    #[test]
+    fn capture_restore_round_trip_preserves_predictions() {
+        let mut model = build_model(ModelKind::Lstm, 4, 2, &ModelConfig::tiny(1), None);
+        let mut rng = Rng64::seed_from(2);
+        let window = Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng);
+        let before = model.predict(&window, &mut rng);
+
+        let ckpt = Checkpoint::capture(model.params());
+        // Scramble the parameters, then restore.
+        for id in model.params().ids() {
+            let dims = model.params().value(id).dims().to_vec();
+            model
+                .params_mut()
+                .load(id, Tensor::rand_normal(&dims, 0.0, 1.0, &mut rng));
+        }
+        let scrambled = model.predict(&window, &mut rng);
+        assert_ne!(before.data(), scrambled.data());
+
+        ckpt.restore(model.params_mut()).unwrap();
+        let after = model.predict(&window, &mut rng);
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let model = build_model(ModelKind::Var, 3, 2, &ModelConfig::tiny(3), None);
+        let ckpt = Checkpoint::capture(model.params());
+        let parsed = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed.params.len(), ckpt.params.len());
+        assert_eq!(parsed.params[0].name, ckpt.params[0].name);
+        assert_eq!(parsed.params[0].data, ckpt.params[0].data);
+    }
+
+    #[test]
+    fn restore_rejects_architecture_mismatch() {
+        let small = build_model(ModelKind::Lstm, 3, 2, &ModelConfig::tiny(4), None);
+        let mut big = build_model(ModelKind::Lstm, 5, 2, &ModelConfig::tiny(4), None);
+        let ckpt = Checkpoint::capture(small.params());
+        let err = ckpt.restore(big.params_mut()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_model_kind() {
+        let lstm = build_model(ModelKind::Lstm, 4, 2, &ModelConfig::tiny(5), None);
+        let mut var = build_model(ModelKind::Var, 4, 2, &ModelConfig::tiny(5), None);
+        let ckpt = Checkpoint::capture(lstm.params());
+        assert!(ckpt.restore(var.params_mut()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = build_model(ModelKind::Var, 2, 1, &ModelConfig::tiny(6), None);
+        let ckpt = Checkpoint::capture(model.params());
+        let dir = std::env::temp_dir().join("ema_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.params.len(), ckpt.params.len());
+        let _ = std::fs::remove_file(path);
+    }
+}

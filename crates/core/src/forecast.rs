@@ -1,0 +1,140 @@
+//! Multi-step-ahead forecasting by iterative 1-lag rollout.
+//!
+//! The paper's task is strictly 1-lag; this extension rolls a trained
+//! model forward by feeding its own predictions back as inputs — the
+//! natural way a clinician would project a participant's trajectory
+//! several beeps ahead.
+
+use ema_models::Forecaster;
+use ema_tensor::{Rng64, Tensor};
+
+/// Rolls `model` forward `horizon` steps from `seed_window`
+/// (`[seq_len, V]`), returning the predicted trajectory `[horizon, V]`.
+/// Each step appends the newest prediction and drops the oldest row.
+///
+/// # Panics
+/// Panics if `horizon == 0` or the window width mismatches the model.
+#[must_use]
+pub fn iterative_forecast(
+    model: &dyn Forecaster,
+    seed_window: &Tensor,
+    horizon: usize,
+    rng: &mut Rng64,
+) -> Tensor {
+    assert!(horizon > 0, "horizon must be positive");
+    assert_eq!(
+        seed_window.dims()[1],
+        model.num_variables(),
+        "window has {} variables, model expects {}",
+        seed_window.dims()[1],
+        model.num_variables()
+    );
+    let seq = seed_window.dims()[0];
+    let v = model.num_variables();
+    let mut window = seed_window.clone();
+    let mut rows = Vec::with_capacity(horizon);
+    for _ in 0..horizon {
+        let pred = model.predict(&window, rng); // [V]
+        rows.push(pred.clone());
+        // Slide: drop the oldest row, append the prediction.
+        let tail = if seq > 1 {
+            window.slice_rows(1, seq)
+        } else {
+            pred.reshaped(&[1, v])
+        };
+        window = if seq > 1 {
+            tail.vcat(&pred.reshaped(&[1, v]))
+        } else {
+            tail
+        };
+    }
+    Tensor::stack_rows(&rows)
+}
+
+/// Horizon-wise MSE of iterative forecasts against a ground-truth
+/// continuation: element `h` scores the `(h+1)`-step-ahead predictions
+/// across all valid starting points in `data`.
+///
+/// # Panics
+/// Panics if `data` is too short for even one rollout.
+#[must_use]
+pub fn horizon_mse(
+    model: &dyn Forecaster,
+    data: &Tensor,
+    seq_len: usize,
+    horizon: usize,
+    rng: &mut Rng64,
+) -> Vec<f64> {
+    let t = data.dims()[0];
+    assert!(
+        t > seq_len + horizon,
+        "series of {t} rows too short for seq {seq_len} + horizon {horizon}"
+    );
+    let mut acc = vec![0.0; horizon];
+    let mut count = 0usize;
+    for start in 0..(t - seq_len - horizon + 1) {
+        let window = data.slice_rows(start, start + seq_len);
+        let forecast = iterative_forecast(model, &window, horizon, rng);
+        for (h, slot) in acc.iter_mut().enumerate() {
+            let truth = data.row(start + seq_len + h);
+            *slot += forecast.row(h).sub(&truth).square().mean();
+        }
+        count += 1;
+    }
+    acc.iter().map(|a| a / count as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_models::{build_model, ModelConfig, ModelKind};
+
+    #[test]
+    fn rollout_shape() {
+        let model = build_model(ModelKind::Lstm, 4, 3, &ModelConfig::tiny(0), None);
+        let mut rng = Rng64::seed_from(1);
+        let window = Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng);
+        let f = iterative_forecast(&*model, &window, 6, &mut rng);
+        assert_eq!(f.dims(), &[6, 4]);
+        assert!(f.all_finite());
+    }
+
+    #[test]
+    fn rollout_with_seq1_window() {
+        let model = build_model(ModelKind::Var, 3, 1, &ModelConfig::tiny(0), None);
+        let mut rng = Rng64::seed_from(2);
+        let window = Tensor::rand_normal(&[1, 3], 0.0, 1.0, &mut rng);
+        let f = iterative_forecast(&*model, &window, 4, &mut rng);
+        assert_eq!(f.dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn first_rollout_step_matches_single_prediction() {
+        let model = build_model(ModelKind::Lstm, 4, 2, &ModelConfig::tiny(3), None);
+        let mut rng = Rng64::seed_from(4);
+        let window = Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng);
+        let direct = model.predict(&window, &mut rng);
+        let rolled = iterative_forecast(&*model, &window, 3, &mut rng);
+        assert_eq!(rolled.row(0).data(), direct.data());
+    }
+
+    #[test]
+    fn horizon_mse_grows_or_stays_for_contracting_models() {
+        // An untrained model's iterative error is finite at every horizon.
+        let model = build_model(ModelKind::Lstm, 3, 2, &ModelConfig::tiny(5), None);
+        let mut rng = Rng64::seed_from(6);
+        let data = Tensor::rand_normal(&[30, 3], 0.0, 1.0, &mut rng);
+        let errs = horizon_mse(&*model, &data, 2, 4, &mut rng);
+        assert_eq!(errs.len(), 4);
+        assert!(errs.iter().all(|e| e.is_finite() && *e > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn rejects_zero_horizon() {
+        let model = build_model(ModelKind::Lstm, 3, 2, &ModelConfig::tiny(0), None);
+        let mut rng = Rng64::seed_from(7);
+        let window = Tensor::zeros(&[2, 3]);
+        let _ = iterative_forecast(&*model, &window, 0, &mut rng);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ema-core
+//!
+//! The paper's personalized EMA forecasting pipeline, end to end:
+//!
+//! 1. generate (or load) a study of `N` individuals ([`ema_data`]);
+//! 2. per individual: sequential 70/30 split, similarity-graph
+//!    construction **from the training portion only**, GDT
+//!    sparsification ([`ema_similarity`], [`ema_graph`]);
+//! 3. full-batch training of a personalized model for 300 epochs with
+//!    Adam at lr 0.01 ([`train`]);
+//! 4. test-set MSE per Eq. (1), aggregated as mean(std) across
+//!    individuals ([`evaluate`]);
+//! 5. the paper's three experiments ([`experiments`]): model comparison
+//!    (Table II), graph structure & sparsity (Table III), and static vs
+//!    MTGNN-learned graphs (Fig. 3), plus ablations.
+//!
+//! ```no_run
+//! use ema_core::experiments::{ExperimentScale, run_experiment_a};
+//!
+//! let table2 = run_experiment_a(&ExperimentScale::quick());
+//! println!("{}", table2.render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod evaluate;
+pub mod experiments;
+pub mod forecast;
+pub mod metrics;
+pub mod pipeline;
+pub mod results;
+pub mod train;
+
+pub use checkpoint::Checkpoint;
+pub use forecast::{horizon_mse, iterative_forecast};
+pub use metrics::{compute_metrics, evaluate_metrics, ForecastMetrics};
+pub use pipeline::{graph_for_individual, run_individual, GraphSpec, IndividualOutcome, RunSpec};
+pub use results::{BoxplotStats, CellStat, ResultTable};
+pub use train::{train_model, TrainConfig, TrainReport};

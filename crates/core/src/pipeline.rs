@@ -1,0 +1,319 @@
+//! The personalized per-individual pipeline and its parallel cohort
+//! runner.
+
+use crate::evaluate::{evaluate_mse, evaluate_per_variable_mse};
+use crate::train::{train_model, TrainConfig};
+use ema_data::{make_test_windows, make_windows, split_train_test, EmaDataset};
+use ema_graph::sparsify::{sparsify, DensityThreshold};
+use ema_graph::AdjacencyMatrix;
+use ema_models::{
+    build_model, A3tgcn, Astgcn, Forecaster, GraphLearnerKind, ModelConfig, ModelKind, Mtgnn,
+};
+use ema_similarity::{build_graph, GraphMetric};
+use ema_tensor::Tensor;
+
+/// Where a model's graph comes from.
+#[derive(Debug, Clone)]
+pub enum GraphSpec {
+    /// No graph (the LSTM baseline).
+    None,
+    /// Similarity graph built per individual from the *training* data,
+    /// sparsified to the given GDT.
+    Static {
+        /// Distance/similarity metric.
+        metric: GraphMetric,
+        /// Graph density threshold.
+        gdt: DensityThreshold,
+    },
+    /// An externally supplied graph (e.g. an MTGNN-learned graph being
+    /// fed to another model, Experiment C).
+    Provided(AdjacencyMatrix),
+}
+
+/// Everything needed to run one model condition on one individual.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Which model to train.
+    pub model: ModelKind,
+    /// Graph source.
+    pub graph: GraphSpec,
+    /// Input window length (paper: 1, 2 or 5).
+    pub seq_len: usize,
+    /// Train/test split fraction (paper: 0.7).
+    pub train_fraction: f64,
+    /// Model hyper-parameters.
+    pub model_config: ModelConfig,
+    /// Training hyper-parameters.
+    pub train_config: TrainConfig,
+    /// For MTGNN: whether the graph-learning module is active
+    /// (disabled = ablation).
+    pub learn_graph: bool,
+    /// For MTGNN: which graph-learner parameterisation to use.
+    pub graph_learner: GraphLearnerKind,
+    /// For A3TGCN: whether temporal attention is active (disabled =
+    /// plain-TGCN ablation).
+    pub use_attention: bool,
+    /// For ASTGCN: whether spatial attention masks the Chebyshev stack
+    /// (disabled = plain-ChebNet ablation).
+    pub use_spatial_attention: bool,
+}
+
+impl RunSpec {
+    /// A spec with the paper's defaults for the given model and graph.
+    #[must_use]
+    pub fn new(model: ModelKind, graph: GraphSpec, seq_len: usize) -> Self {
+        Self {
+            model,
+            graph,
+            seq_len,
+            train_fraction: 0.7,
+            model_config: ModelConfig::default(),
+            train_config: TrainConfig::default(),
+            learn_graph: true,
+            graph_learner: GraphLearnerKind::Embedding,
+            use_attention: true,
+            use_spatial_attention: true,
+        }
+    }
+}
+
+/// The result of one (individual, condition) run.
+#[derive(Debug, Clone)]
+pub struct IndividualOutcome {
+    /// Individual id.
+    pub id: usize,
+    /// Test MSE (Eq. (1) for this individual).
+    pub mse: f64,
+    /// Per-variable test MSEs.
+    pub per_variable_mse: Vec<f64>,
+    /// Final training loss.
+    pub final_train_loss: f64,
+    /// Epochs actually run.
+    pub epochs_run: usize,
+    /// The static graph used (when any), after sparsification.
+    pub graph_used: Option<AdjacencyMatrix>,
+    /// MTGNN's learned graph after training, when applicable.
+    pub learned_graph: Option<AdjacencyMatrix>,
+}
+
+/// Builds the sparsified similarity graph for one individual from the
+/// training portion of its data.
+#[must_use]
+pub fn graph_for_individual(
+    train_data: &Tensor,
+    metric: GraphMetric,
+    gdt: DensityThreshold,
+) -> AdjacencyMatrix {
+    sparsify(&build_graph(train_data, metric), gdt)
+}
+
+/// Runs the full pipeline for one individual: split → graph → windows →
+/// train → evaluate.
+///
+/// # Panics
+/// Panics when the series is too short for the requested window length
+/// or the spec is inconsistent (graph-free GNN).
+#[must_use]
+pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOutcome {
+    let (train, test) = split_train_test(data, spec.train_fraction);
+    let v = data.dims()[1];
+
+    // Graph built from training data only — no test leakage.
+    let graph = match &spec.graph {
+        GraphSpec::None => None,
+        GraphSpec::Static { metric, gdt } => {
+            Some(graph_for_individual(&train, *metric, *gdt))
+        }
+        GraphSpec::Provided(g) => Some(g.clone()),
+    };
+
+    let mut model: Box<dyn Forecaster> = match spec.model {
+        ModelKind::Mtgnn => Box::new(Mtgnn::with_learner(
+            v,
+            spec.seq_len,
+            graph.as_ref(),
+            &spec.model_config,
+            spec.learn_graph,
+            spec.graph_learner,
+        )),
+        ModelKind::A3tgcn => Box::new(A3tgcn::with_options(
+            v,
+            graph.as_ref().expect("A3TGCN requires a graph"),
+            &spec.model_config,
+            spec.use_attention,
+        )),
+        ModelKind::Astgcn => Box::new(Astgcn::with_options(
+            v,
+            spec.seq_len,
+            graph.as_ref().expect("ASTGCN requires a graph"),
+            &spec.model_config,
+            spec.use_spatial_attention,
+        )),
+        _ => build_model(spec.model, v, spec.seq_len, &spec.model_config, graph.as_ref()),
+    };
+
+    let train_windows = make_windows(&train, spec.seq_len);
+    let test_windows = make_test_windows(&train, &test, spec.seq_len);
+
+    // Per-individual dropout stream: deterministic but distinct.
+    let mut train_config = spec.train_config;
+    train_config.seed = spec.train_config.seed.wrapping_add(id as u64);
+    let report = train_model(&mut *model, &train_windows, &train_config);
+
+    let mse = evaluate_mse(&*model, &test_windows);
+    let per_variable_mse = evaluate_per_variable_mse(&*model, &test_windows);
+
+    // Extract the learned graph from MTGNN for Experiment C.
+    let learned_graph = if spec.model == ModelKind::Mtgnn && spec.learn_graph {
+        // Rebuild as the concrete type to reach learned_graph(); the
+        // trait object was constructed above from the same path.
+        let concrete = model
+            .as_any_mtgnn()
+            .expect("MTGNN model exposes its learned graph");
+        Some(concrete.learned_graph())
+    } else {
+        None
+    };
+
+    IndividualOutcome {
+        id,
+        mse,
+        per_variable_mse,
+        final_train_loss: report.final_loss(),
+        epochs_run: report.epochs_run,
+        graph_used: graph,
+        learned_graph,
+    }
+}
+
+/// Runs a condition across a whole cohort in parallel (one thread per
+/// individual, bounded by available parallelism). Results are returned
+/// in individual order.
+#[must_use]
+pub fn run_cohort(dataset: &EmaDataset, spec: &RunSpec) -> Vec<IndividualOutcome> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(dataset.individuals.len())
+        .max(1);
+
+    let mut outcomes: Vec<Option<IndividualOutcome>> =
+        (0..dataset.individuals.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut outcomes);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= dataset.individuals.len() {
+                    break;
+                }
+                let ind = &dataset.individuals[i];
+                let outcome = run_individual(ind.id, &ind.data, spec);
+                slots.lock().expect("no poisoned lock")[i] = Some(outcome);
+            });
+        }
+    });
+
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_data::{EmaGenerator, GeneratorConfig};
+
+    fn quick_spec(model: ModelKind, graph: GraphSpec) -> RunSpec {
+        RunSpec {
+            model_config: ModelConfig::tiny(0),
+            train_config: TrainConfig::quick(15, 3),
+            ..RunSpec::new(model, graph, 2)
+        }
+    }
+
+    fn dataset() -> EmaDataset {
+        EmaGenerator::new(GeneratorConfig::quick(3, 6, 11)).generate()
+    }
+
+    #[test]
+    fn lstm_individual_run() {
+        let ds = dataset();
+        let spec = quick_spec(ModelKind::Lstm, GraphSpec::None);
+        let out = run_individual(0, &ds.individuals[0].data, &spec);
+        assert!(out.mse.is_finite() && out.mse > 0.0);
+        assert_eq!(out.per_variable_mse.len(), 6);
+        assert!(out.graph_used.is_none());
+        assert!(out.learned_graph.is_none());
+    }
+
+    #[test]
+    fn gnn_individual_run_builds_graph() {
+        let ds = dataset();
+        let spec = quick_spec(
+            ModelKind::A3tgcn,
+            GraphSpec::Static {
+                metric: GraphMetric::Correlation,
+                gdt: DensityThreshold::Gdt40,
+            },
+        );
+        let out = run_individual(0, &ds.individuals[0].data, &spec);
+        let g = out.graph_used.unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        // GDT 40% of 30 possible edges = 12.
+        assert!(g.num_edges() <= 12);
+    }
+
+    #[test]
+    fn mtgnn_run_exposes_learned_graph() {
+        let ds = dataset();
+        let spec = quick_spec(
+            ModelKind::Mtgnn,
+            GraphSpec::Static {
+                metric: GraphMetric::Euclidean,
+                gdt: DensityThreshold::Gdt20,
+            },
+        );
+        let out = run_individual(0, &ds.individuals[0].data, &spec);
+        let learned = out.learned_graph.expect("MTGNN yields a learned graph");
+        assert_eq!(learned.num_nodes(), 6);
+        assert!(learned.num_edges() > 0);
+    }
+
+    #[test]
+    fn cohort_runs_all_individuals_in_order() {
+        let ds = dataset();
+        let spec = quick_spec(ModelKind::Lstm, GraphSpec::None);
+        let outcomes = run_cohort(&ds, &spec);
+        assert_eq!(outcomes.len(), 3);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.id, ds.individuals[i].id);
+            assert!(o.mse.is_finite());
+        }
+    }
+
+    #[test]
+    fn cohort_is_deterministic() {
+        let ds = dataset();
+        let spec = quick_spec(ModelKind::Lstm, GraphSpec::None);
+        let a: Vec<f64> = run_cohort(&ds, &spec).iter().map(|o| o.mse).collect();
+        let b: Vec<f64> = run_cohort(&ds, &spec).iter().map(|o| o.mse).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn provided_graph_is_used_verbatim(
+    ) {
+        let ds = dataset();
+        let g = AdjacencyMatrix::complete(6);
+        let spec = quick_spec(ModelKind::A3tgcn, GraphSpec::Provided(g.clone()));
+        let out = run_individual(0, &ds.individuals[0].data, &spec);
+        assert_eq!(
+            out.graph_used.unwrap().weights().data(),
+            g.weights().data()
+        );
+    }
+}

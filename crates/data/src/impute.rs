@@ -1,0 +1,218 @@
+//! Missing-value imputation for EMA matrices.
+//!
+//! The generator models missed beeps by *dropping rows* (shortening
+//! `T_i`, as in the paper's preprocessing); real EMA exports instead
+//! often contain per-item missing values (`NaN`). This module provides
+//! the standard repairs so such data can enter the pipeline, which
+//! requires fully-observed matrices.
+
+use ema_tensor::Tensor;
+
+/// How a missing (NaN) value is replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputeStrategy {
+    /// Carry the last observed value of the variable forward; leading
+    /// missing values fall back to the column mean.
+    ForwardFill,
+    /// Replace with the variable's observed mean.
+    Mean,
+    /// Linearly interpolate between the surrounding observed values;
+    /// boundary gaps fall back to the nearest observation.
+    Linear,
+}
+
+/// Counts missing (NaN) entries in a `[T, V]` matrix.
+#[must_use]
+pub fn count_missing(data: &Tensor) -> usize {
+    data.data().iter().filter(|v| v.is_nan()).count()
+}
+
+/// Fraction of missing entries, in `[0, 1]`.
+#[must_use]
+pub fn missing_rate(data: &Tensor) -> f64 {
+    count_missing(data) as f64 / data.len() as f64
+}
+
+/// Imputes every NaN in a `[T, V]` matrix under the chosen strategy.
+/// Columns with *no* observed values are filled with zeros.
+///
+/// # Panics
+/// Panics unless `data` is rank 2.
+#[must_use]
+pub fn impute(data: &Tensor, strategy: ImputeStrategy) -> Tensor {
+    assert_eq!(data.rank(), 2, "data must be [T, V]");
+    let (t, v) = (data.dims()[0], data.dims()[1]);
+    let mut out = data.clone();
+    for j in 0..v {
+        let observed: Vec<(usize, f64)> = (0..t)
+            .filter_map(|i| {
+                let val = data.at2(i, j);
+                val.is_finite().then_some((i, val))
+            })
+            .collect();
+        if observed.is_empty() {
+            for i in 0..t {
+                out.set2(i, j, 0.0);
+            }
+            continue;
+        }
+        let mean = observed.iter().map(|&(_, v)| v).sum::<f64>() / observed.len() as f64;
+        for i in 0..t {
+            if out.at2(i, j).is_finite() {
+                continue;
+            }
+            let filled = match strategy {
+                ImputeStrategy::Mean => mean,
+                ImputeStrategy::ForwardFill => observed
+                    .iter()
+                    .rev()
+                    .find(|&&(k, _)| k < i)
+                    .map_or(mean, |&(_, v)| v),
+                ImputeStrategy::Linear => {
+                    let before = observed.iter().rev().find(|&&(k, _)| k < i);
+                    let after = observed.iter().find(|&&(k, _)| k > i);
+                    match (before, after) {
+                        (Some(&(k0, v0)), Some(&(k1, v1))) => {
+                            let frac = (i - k0) as f64 / (k1 - k0) as f64;
+                            v0 + frac * (v1 - v0)
+                        }
+                        (Some(&(_, v0)), None) => v0,
+                        (None, Some(&(_, v1))) => v1,
+                        (None, None) => mean,
+                    }
+                }
+            };
+            out.set2(i, j, filled);
+        }
+    }
+    out
+}
+
+/// Randomly masks entries of a matrix with NaN at the given rate —
+/// used by tests and robustness experiments to simulate item
+/// non-response.
+///
+/// # Panics
+/// Panics unless `0 <= rate < 1`.
+#[must_use]
+pub fn mask_random(data: &Tensor, rate: f64, rng: &mut ema_tensor::Rng64) -> Tensor {
+    assert!((0.0..1.0).contains(&rate), "invalid mask rate {rate}");
+    let mut out = data.clone();
+    for v in out.data_mut() {
+        if rng.bernoulli(rate) {
+            *v = f64::NAN;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_tensor::Rng64;
+
+    fn with_gaps() -> Tensor {
+        let nan = f64::NAN;
+        Tensor::from_vec2(vec![
+            vec![1.0, nan],
+            vec![nan, 4.0],
+            vec![3.0, nan],
+            vec![nan, 8.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn counting() {
+        let d = with_gaps();
+        assert_eq!(count_missing(&d), 4);
+        assert_eq!(missing_rate(&d), 0.5);
+    }
+
+    #[test]
+    fn mean_imputation() {
+        let filled = impute(&with_gaps(), ImputeStrategy::Mean);
+        assert_eq!(count_missing(&filled), 0);
+        assert_eq!(filled.at2(1, 0), 2.0); // mean of 1, 3
+        assert_eq!(filled.at2(0, 1), 6.0); // mean of 4, 8
+    }
+
+    #[test]
+    fn forward_fill_carries_last_value() {
+        let filled = impute(&with_gaps(), ImputeStrategy::ForwardFill);
+        assert_eq!(filled.at2(1, 0), 1.0);
+        assert_eq!(filled.at2(3, 0), 3.0);
+        // Leading gap falls back to the mean.
+        assert_eq!(filled.at2(0, 1), 6.0);
+        assert_eq!(filled.at2(2, 1), 4.0);
+    }
+
+    #[test]
+    fn linear_interpolation() {
+        let filled = impute(&with_gaps(), ImputeStrategy::Linear);
+        assert_eq!(filled.at2(1, 0), 2.0); // midpoint of 1 and 3
+        assert_eq!(filled.at2(2, 1), 6.0); // midpoint of 4 and 8
+        // Trailing gap clamps to the last observation.
+        assert_eq!(filled.at2(3, 0), 3.0);
+    }
+
+    #[test]
+    fn fully_missing_column_becomes_zero() {
+        let nan = f64::NAN;
+        let d = Tensor::from_vec2(vec![vec![nan, 1.0], vec![nan, 2.0]]).unwrap();
+        for strategy in [
+            ImputeStrategy::Mean,
+            ImputeStrategy::ForwardFill,
+            ImputeStrategy::Linear,
+        ] {
+            let filled = impute(&d, strategy);
+            assert_eq!(filled.col(0).data(), &[0.0, 0.0]);
+            assert_eq!(filled.col(1).data(), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn observed_values_are_untouched() {
+        let d = with_gaps();
+        for strategy in [
+            ImputeStrategy::Mean,
+            ImputeStrategy::ForwardFill,
+            ImputeStrategy::Linear,
+        ] {
+            let filled = impute(&d, strategy);
+            assert_eq!(filled.at2(0, 0), 1.0);
+            assert_eq!(filled.at2(2, 0), 3.0);
+            assert_eq!(filled.at2(1, 1), 4.0);
+            assert_eq!(filled.at2(3, 1), 8.0);
+        }
+    }
+
+    #[test]
+    fn mask_and_impute_round_trip_is_close_for_smooth_series() {
+        // Low-noise AR series: linear interpolation recovers most mass.
+        let mut rng = Rng64::seed_from(5);
+        let mut rows = vec![vec![0.0; 3]];
+        for t in 1..200 {
+            let prev = rows[t - 1].clone();
+            rows.push(
+                prev.iter()
+                    .map(|&x| 0.95 * x + 0.05 * rng.normal())
+                    .collect(),
+            );
+        }
+        let data = Tensor::from_vec2(rows).unwrap();
+        let masked = mask_random(&data, 0.2, &mut rng);
+        let filled = impute(&masked, ImputeStrategy::Linear);
+        let err = filled.mse(&data);
+        assert!(err < 0.01, "interpolation error {err} too large");
+    }
+
+    #[test]
+    fn mask_rate_is_respected() {
+        let mut rng = Rng64::seed_from(6);
+        let data = Tensor::ones(&[100, 100]);
+        let masked = mask_random(&data, 0.3, &mut rng);
+        let rate = missing_rate(&masked);
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The canonical EMA variable set.
+
+/// The 26 EMA item names used for synthetic studies, mirroring the kind
+/// of transdiagnostic items collected by the NSMD protocol (positive and
+/// negative affect, stress, cognition, behaviour and context).
+pub const EMA_VARIABLES: [&str; 26] = [
+    "cheerful",
+    "relaxed",
+    "energetic",
+    "satisfied",
+    "enthusiastic",
+    "insecure",
+    "anxious",
+    "down",
+    "irritated",
+    "stressed",
+    "lonely",
+    "guilty",
+    "tired",
+    "restless",
+    "listless",
+    "concentration",
+    "self_doubt",
+    "worry",
+    "rumination",
+    "craving",
+    "impulsivity",
+    "appetite",
+    "physical_discomfort",
+    "social_contact",
+    "enjoy_company",
+    "activity_pleasure",
+];
+
+/// Returns the first `v` canonical names, generating `var_{i}` past 26.
+#[must_use]
+pub fn variable_names(v: usize) -> Vec<String> {
+    (0..v)
+        .map(|i| {
+            EMA_VARIABLES
+                .get(i)
+                .map_or_else(|| format!("var_{i}"), |s| (*s).to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_count_matches_paper() {
+        assert_eq!(EMA_VARIABLES.len(), 26);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = EMA_VARIABLES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn overflow_generates_names() {
+        let names = variable_names(28);
+        assert_eq!(names.len(), 28);
+        assert_eq!(names[0], "cheerful");
+        assert_eq!(names[27], "var_27");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of preprocessing, windowing and CSV IO.
+
+use ema_data::io::{from_csv, to_csv};
+use ema_data::preprocess::z_normalize;
+use ema_data::{make_test_windows, make_windows, split_train_test};
+use ema_tensor::Tensor;
+use proptest::prelude::*;
+
+fn mts() -> impl Strategy<Value = Tensor> {
+    (8usize..40, 2usize..6).prop_flat_map(|(t, v)| {
+        prop::collection::vec(-100.0f64..100.0, t * v)
+            .prop_map(move |d| Tensor::from_vec(&[t, v], d).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn z_normalize_is_idempotent(data in mts()) {
+        let z1 = z_normalize(&data);
+        let z2 = z_normalize(&z1);
+        ema_tensor::assert_tensors_close(&z1, &z2, 1e-9);
+    }
+
+    #[test]
+    fn z_normalize_is_shift_scale_invariant(data in mts()) {
+        let shifted = data.map(|v| 4.0 * v - 11.0);
+        ema_tensor::assert_tensors_close(
+            &z_normalize(&data),
+            &z_normalize(&shifted),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn split_preserves_rows_in_order(data in mts(), frac in 0.2f64..0.8) {
+        let t = data.dims()[0];
+        let (train, test) = split_train_test(&data, frac);
+        prop_assert_eq!(train.dims()[0] + test.dims()[0], t);
+        // Concatenation reproduces the original exactly.
+        ema_tensor::assert_tensors_close(&train.vcat(&test), &data, 0.0);
+    }
+
+    #[test]
+    fn window_count_and_targets(data in mts(), seq in 1usize..5) {
+        let t = data.dims()[0];
+        prop_assume!(t > seq);
+        let w = make_windows(&data, seq);
+        prop_assert_eq!(w.len(), t - seq);
+        // Each target is the row right after its window.
+        for (i, (input, target)) in w.inputs.iter().zip(w.targets.iter()).enumerate() {
+            prop_assert_eq!(input.dims(), &[seq, data.dims()[1]]);
+            let expected_target = data.row(i + seq);
+            prop_assert_eq!(target.data(), expected_target.data());
+            // Last input row immediately precedes the target.
+            let last_in = input.row(seq - 1);
+            let prev_row = data.row(i + seq - 1);
+            prop_assert_eq!(last_in.data(), prev_row.data());
+        }
+    }
+
+    #[test]
+    fn test_windows_cover_all_test_rows(data in mts(), seq in 1usize..4) {
+        let (train, test) = split_train_test(&data, 0.7);
+        prop_assume!(train.dims()[0] >= seq);
+        let w = make_test_windows(&train, &test, seq);
+        prop_assert_eq!(w.len(), test.dims()[0]);
+        for (i, target) in w.targets.iter().enumerate() {
+            let expected = test.row(i);
+            prop_assert_eq!(target.data(), expected.data());
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless(data in mts()) {
+        let names: Vec<String> = (0..data.dims()[1]).map(|i| format!("v{i}")).collect();
+        let csv = to_csv(&data, &names);
+        let (parsed_names, parsed) = from_csv(&csv).unwrap();
+        prop_assert_eq!(parsed_names, names);
+        ema_tensor::assert_tensors_close(&parsed, &data, 0.0);
+    }
+
+    #[test]
+    fn csv_parser_rejects_corruption(data in mts(), row in 0usize..5, col in 0usize..3) {
+        let names: Vec<String> = (0..data.dims()[1]).map(|i| format!("v{i}")).collect();
+        let csv = to_csv(&data, &names);
+        // Corrupt one numeric cell with garbage.
+        let mut lines: Vec<String> = csv.lines().map(String::from).collect();
+        let target_row = 1 + row % (lines.len() - 1);
+        let cells: Vec<String> = lines[target_row].split(',').map(String::from).collect();
+        let target_col = col % cells.len();
+        let mut new_cells = cells.clone();
+        new_cells[target_col] = "not-a-number".into();
+        lines[target_row] = new_cells.join(",");
+        let corrupted = lines.join("\n");
+        prop_assert!(from_csv(&corrupted).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Graph export: Graphviz DOT and edge-list CSV, so individual networks
+//! can be inspected with standard tooling (the network-psychometrics
+//! community lives on graph plots).
+
+use crate::AdjacencyMatrix;
+use std::fmt::Write as _;
+
+/// Renders the graph as Graphviz DOT. Undirected (symmetric) graphs use
+/// `graph`/`--` with each edge emitted once; directed graphs use
+/// `digraph`/`->`. Edge weights land in both `label` and `penwidth`.
+///
+/// # Panics
+/// Panics if `node_names` is non-empty but does not match the node
+/// count.
+#[must_use]
+pub fn to_dot(adj: &AdjacencyMatrix, node_names: &[String]) -> String {
+    let n = adj.num_nodes();
+    if !node_names.is_empty() {
+        assert_eq!(node_names.len(), n, "name count mismatch");
+    }
+    let name = |i: usize| -> String {
+        node_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("v{i}"))
+    };
+    let symmetric = adj.is_symmetric();
+    let max_w = adj.weights().max().max(1e-12);
+    let mut out = String::new();
+    let (kind, arrow) = if symmetric {
+        ("graph", "--")
+    } else {
+        ("digraph", "->")
+    };
+    let _ = writeln!(out, "{kind} ema {{");
+    let _ = writeln!(out, "  layout=circo;");
+    for i in 0..n {
+        let _ = writeln!(out, "  {:?};", name(i));
+    }
+    for (i, j, w) in adj.edges() {
+        if symmetric && j < i {
+            continue; // each undirected edge once
+        }
+        let _ = writeln!(
+            out,
+            "  {:?} {arrow} {:?} [label=\"{w:.2}\", penwidth={:.2}];",
+            name(i),
+            name(j),
+            0.5 + 2.5 * w / max_w
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph as a `source,target,weight` CSV edge list
+/// (directed edges; symmetric graphs emit each edge once).
+#[must_use]
+pub fn to_edge_csv(adj: &AdjacencyMatrix, node_names: &[String]) -> String {
+    let n = adj.num_nodes();
+    if !node_names.is_empty() {
+        assert_eq!(node_names.len(), n, "name count mismatch");
+    }
+    let name = |i: usize| -> String {
+        node_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("v{i}"))
+    };
+    let symmetric = adj.is_symmetric();
+    let mut out = String::from("source,target,weight\n");
+    for (i, j, w) in adj.edges() {
+        if symmetric && j < i {
+            continue;
+        }
+        let _ = writeln!(out, "{},{},{w}", name(i), name(j));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("var{i}")).collect()
+    }
+
+    #[test]
+    fn symmetric_graph_renders_undirected() {
+        let mut a = AdjacencyMatrix::empty(3);
+        a.set_weight(0, 1, 0.8);
+        a.set_weight(1, 0, 0.8);
+        let dot = to_dot(&a, &names(3));
+        assert!(dot.starts_with("graph"));
+        assert!(dot.contains("\"var0\" -- \"var1\""));
+        // Edge emitted exactly once.
+        assert_eq!(dot.matches("--").count(), 1);
+    }
+
+    #[test]
+    fn directed_graph_renders_digraph() {
+        let mut a = AdjacencyMatrix::empty(3);
+        a.set_weight(0, 1, 0.5);
+        let dot = to_dot(&a, &[]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"v0\" -> \"v1\""));
+    }
+
+    #[test]
+    fn edge_csv_round_trips_weights() {
+        let mut a = AdjacencyMatrix::empty(2);
+        a.set_weight(0, 1, 0.75);
+        let csv = to_edge_csv(&a, &names(2));
+        assert!(csv.contains("var0,var1,0.75"));
+        assert!(csv.starts_with("source,target,weight"));
+    }
+
+    #[test]
+    #[should_panic(expected = "name count mismatch")]
+    fn rejects_wrong_name_count() {
+        let a = AdjacencyMatrix::empty(3);
+        let _ = to_dot(&a, &names(2));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let dot = to_dot(&AdjacencyMatrix::empty(2), &[]);
+        assert!(dot.contains("graph ema {"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

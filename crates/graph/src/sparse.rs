@@ -1,0 +1,213 @@
+//! Compressed-sparse-row adjacency for larger variable sets.
+//!
+//! At the paper's scale (V = 26) dense propagation is fastest, but EMA
+//! protocols with 50–100 items make `V × V` dense matmuls wasteful when
+//! GDT sparsification keeps only 20% of edges. [`SparseMatrix`] stores
+//! the propagation matrix in CSR form and provides the two products the
+//! GNNs need (`S · x` and `S · H`); `ema-bench` compares it against the
+//! dense path.
+
+use crate::AdjacencyMatrix;
+use ema_tensor::Tensor;
+
+/// A CSR (compressed sparse row) matrix over `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers: `values[row_ptr[i]..row_ptr[i+1]]` is row `i`.
+    row_ptr: Vec<usize>,
+    /// Column index per stored entry (sorted within each row).
+    col_idx: Vec<usize>,
+    /// Stored values.
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from a dense tensor, storing entries with
+    /// magnitude above `epsilon`.
+    ///
+    /// # Panics
+    /// Panics unless `dense` is rank 2.
+    #[must_use]
+    pub fn from_dense(dense: &Tensor, epsilon: f64) -> Self {
+        assert_eq!(dense.rank(), 2, "sparse conversion needs a matrix");
+        let (rows, cols) = (dense.dims()[0], dense.dims()[1]);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = dense.at2(i, j);
+                if v.abs() > epsilon {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds from an adjacency matrix (exact zeros dropped).
+    #[must_use]
+    pub fn from_adjacency(adj: &AdjacencyMatrix) -> Self {
+        Self::from_dense(adj.weights(), 0.0)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `nnz / (rows · cols)`.
+    #[must_use]
+    pub fn fill(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Reconstructs the dense tensor.
+    #[must_use]
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out.set2(i, self.col_idx[k], self.values[k]);
+            }
+        }
+        out
+    }
+
+    /// Sparse × vector: `[r, c] · [c] -> [r]`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    #[must_use]
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 1, "matvec rhs must be rank 1");
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let xd = x.data();
+        let mut out = vec![0.0; self.rows];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * xd[self.col_idx[k]];
+            }
+            *slot = acc;
+        }
+        Tensor::from_vec1(out)
+    }
+
+    /// Sparse × dense: `[r, c] · [c, f] -> [r, f]` — the GNN
+    /// propagation product `Â · H`.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    #[must_use]
+    pub fn matmul_dense(&self, h: &Tensor) -> Tensor {
+        assert_eq!(h.rank(), 2, "matmul rhs must be rank 2");
+        assert_eq!(h.dims()[0], self.cols, "matmul dimension mismatch");
+        let f = h.dims()[1];
+        let hd = h.data();
+        let mut out = vec![0.0; self.rows * f];
+        for i in 0..self.rows {
+            let orow = &mut out[i * f..(i + 1) * f];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let v = self.values[k];
+                let hrow = &hd[self.col_idx[k] * f..(self.col_idx[k] + 1) * f];
+                for (o, &hv) in orow.iter_mut().zip(hrow.iter()) {
+                    *o += v * hv;
+                }
+            }
+        }
+        Tensor::from_vec(&[self.rows, f], out).expect("spmm output shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_tensor::{assert_tensors_close, Rng64};
+
+    fn sparse_dense_pair(seed: u64) -> (SparseMatrix, Tensor) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut dense = Tensor::zeros(&[12, 12]);
+        for _ in 0..30 {
+            let i = rng.index(12);
+            let j = rng.index(12);
+            dense.set2(i, j, rng.normal());
+        }
+        (SparseMatrix::from_dense(&dense, 0.0), dense)
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let (sparse, dense) = sparse_dense_pair(1);
+        assert_tensors_close(&sparse.to_dense(), &dense, 0.0);
+        assert!(sparse.nnz() <= 30);
+        assert!(sparse.fill() < 0.25);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let (sparse, dense) = sparse_dense_pair(2);
+        let mut rng = Rng64::seed_from(3);
+        let x = Tensor::rand_normal(&[12], 0.0, 1.0, &mut rng);
+        assert_tensors_close(&sparse.matvec(&x), &dense.matvec(&x), 1e-12);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let (sparse, dense) = sparse_dense_pair(4);
+        let mut rng = Rng64::seed_from(5);
+        let h = Tensor::rand_normal(&[12, 7], 0.0, 1.0, &mut rng);
+        assert_tensors_close(&sparse.matmul_dense(&h), &dense.matmul(&h), 1e-12);
+    }
+
+    #[test]
+    fn adjacency_conversion_counts_edges() {
+        let mut a = AdjacencyMatrix::empty(5);
+        a.set_weight(0, 1, 0.5);
+        a.set_weight(3, 2, 1.5);
+        let s = SparseMatrix::from_adjacency(&a);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.cols(), 5);
+    }
+
+    #[test]
+    fn epsilon_filters_small_entries() {
+        let dense = Tensor::from_vec2(vec![vec![1.0, 1e-9], vec![0.0, 2.0]]).unwrap();
+        let s = SparseMatrix::from_dense(&dense, 1e-6);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_products_are_zero() {
+        let s = SparseMatrix::from_dense(&Tensor::zeros(&[4, 4]), 0.0);
+        assert_eq!(s.nnz(), 0);
+        let mut rng = Rng64::seed_from(6);
+        let h = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng);
+        assert!(s.matmul_dense(&h).data().iter().all(|&v| v == 0.0));
+    }
+}

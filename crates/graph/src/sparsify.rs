@@ -1,0 +1,203 @@
+//! Graph sparsification: density thresholds (GDT) and per-row top-k.
+
+use crate::AdjacencyMatrix;
+
+/// The paper's graph density threshold levels (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DensityThreshold {
+    /// Keep the strongest 20% of possible edges.
+    Gdt20,
+    /// Keep the strongest 40% of possible edges.
+    Gdt40,
+    /// Keep every edge (no sparsification).
+    Gdt100,
+}
+
+impl DensityThreshold {
+    /// The retained fraction of possible edges.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        match self {
+            DensityThreshold::Gdt20 => 0.20,
+            DensityThreshold::Gdt40 => 0.40,
+            DensityThreshold::Gdt100 => 1.0,
+        }
+    }
+
+    /// All levels, in Table-I order.
+    #[must_use]
+    pub fn all() -> [DensityThreshold; 3] {
+        [
+            DensityThreshold::Gdt20,
+            DensityThreshold::Gdt40,
+            DensityThreshold::Gdt100,
+        ]
+    }
+
+    /// The paper's label, e.g. `"20%"`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DensityThreshold::Gdt20 => "20%",
+            DensityThreshold::Gdt40 => "40%",
+            DensityThreshold::Gdt100 => "100%",
+        }
+    }
+}
+
+/// Keeps only the `fraction` strongest directed edges (by weight),
+/// zeroing the rest. `fraction` is relative to the number of *possible*
+/// off-diagonal edges, matching the paper's GDT definition.
+///
+/// Undirected (symmetric) inputs stay symmetric because edge pairs have
+/// equal weights and ties are broken consistently by index.
+///
+/// # Panics
+/// Panics unless `0 < fraction <= 1`.
+#[must_use]
+pub fn sparsify_to_density(adj: &AdjacencyMatrix, fraction: f64) -> AdjacencyMatrix {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "density fraction must be in (0, 1], got {fraction}"
+    );
+    if fraction >= 1.0 {
+        return adj.clone();
+    }
+    let n = adj.num_nodes();
+    let possible = n * (n - 1);
+    let keep = ((possible as f64 * fraction).round() as usize).max(1);
+
+    let mut edges = adj.edges();
+    if edges.len() <= keep {
+        return adj.clone();
+    }
+    // Sort by weight descending, ties by (i, j) for determinism.
+    edges.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut out = AdjacencyMatrix::empty(n);
+    for &(i, j, w) in edges.iter().take(keep) {
+        out.set_weight(i, j, w);
+    }
+    out
+}
+
+/// Convenience: sparsify to one of the paper's GDT levels.
+#[must_use]
+pub fn sparsify(adj: &AdjacencyMatrix, gdt: DensityThreshold) -> AdjacencyMatrix {
+    sparsify_to_density(adj, gdt.fraction())
+}
+
+/// Keeps the `k` strongest outgoing edges per node (MTGNN's graph-
+/// learning sparsifier), zeroing the rest.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[must_use]
+pub fn top_k_per_row(adj: &AdjacencyMatrix, k: usize) -> AdjacencyMatrix {
+    assert!(k > 0, "top-k requires k > 0");
+    let n = adj.num_nodes();
+    let mut out = AdjacencyMatrix::empty(n);
+    for i in 0..n {
+        let mut row: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, adj.weight(i, j)))
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        row.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        for &(j, w) in row.iter().take(k) {
+            out.set_weight(i, j, w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_tensor::{Rng64, Tensor};
+
+    fn random_graph(n: usize, seed: u64) -> AdjacencyMatrix {
+        let mut rng = Rng64::seed_from(seed);
+        AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut rng))
+    }
+
+    #[test]
+    fn gdt_fraction_edge_counts() {
+        let a = random_graph(10, 1); // 90 possible edges, all present
+        let s20 = sparsify(&a, DensityThreshold::Gdt20);
+        assert_eq!(s20.num_edges(), 18);
+        let s40 = sparsify(&a, DensityThreshold::Gdt40);
+        assert_eq!(s40.num_edges(), 36);
+        let s100 = sparsify(&a, DensityThreshold::Gdt100);
+        assert_eq!(s100.num_edges(), 90);
+    }
+
+    #[test]
+    fn sparsify_keeps_strongest() {
+        let mut a = AdjacencyMatrix::empty(3);
+        a.set_weight(0, 1, 0.9);
+        a.set_weight(1, 2, 0.5);
+        a.set_weight(2, 0, 0.1);
+        // 6 possible edges; 20% -> keep round(1.2)=1 edge.
+        let s = sparsify_to_density(&a, 0.2);
+        assert_eq!(s.num_edges(), 1);
+        assert_eq!(s.weight(0, 1), 0.9);
+    }
+
+    #[test]
+    fn sparsify_preserves_symmetry() {
+        let a = random_graph(8, 2).symmetrized();
+        let s = sparsify(&a, DensityThreshold::Gdt40);
+        assert!(s.is_symmetric(), "GDT sparsification broke symmetry");
+    }
+
+    #[test]
+    fn sparsify_noop_when_sparser_than_target() {
+        let mut a = AdjacencyMatrix::empty(5);
+        a.set_weight(0, 1, 1.0);
+        let s = sparsify(&a, DensityThreshold::Gdt40);
+        assert_eq!(s.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "density fraction")]
+    fn sparsify_rejects_zero_fraction() {
+        let _ = sparsify_to_density(&random_graph(4, 3), 0.0);
+    }
+
+    #[test]
+    fn top_k_limits_out_degree() {
+        let a = random_graph(10, 4);
+        let t = top_k_per_row(&a, 3);
+        for i in 0..10 {
+            let deg = (0..10).filter(|&j| t.weight(i, j) > 0.0).count();
+            assert!(deg <= 3, "node {i} kept {deg} edges");
+        }
+        assert_eq!(t.num_edges(), 30);
+    }
+
+    #[test]
+    fn top_k_keeps_strongest_per_row() {
+        let mut a = AdjacencyMatrix::empty(4);
+        a.set_weight(0, 1, 0.1);
+        a.set_weight(0, 2, 0.9);
+        a.set_weight(0, 3, 0.5);
+        let t = top_k_per_row(&a, 2);
+        assert_eq!(t.weight(0, 2), 0.9);
+        assert_eq!(t.weight(0, 3), 0.5);
+        assert_eq!(t.weight(0, 1), 0.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DensityThreshold::Gdt20.label(), "20%");
+        assert_eq!(DensityThreshold::all().len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of graph transformations.
+
+use ema_graph::chebyshev::chebyshev_from_adjacency;
+use ema_graph::normalize::{
+    gcn_norm, laplacian, normalized_laplacian, row_norm_self_loops, spectral_radius,
+};
+use ema_graph::random::random_with_edge_count;
+use ema_graph::sparsify::{sparsify_to_density, top_k_per_row};
+use ema_graph::stats::edge_weight_correlation;
+use ema_graph::AdjacencyMatrix;
+use ema_tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+fn graph() -> impl Strategy<Value = AdjacencyMatrix> {
+    (3usize..10, 0u64..10_000).prop_map(|(n, seed)| {
+        let mut rng = Rng64::seed_from(seed);
+        AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut rng))
+    })
+}
+
+fn symmetric_graph() -> impl Strategy<Value = AdjacencyMatrix> {
+    graph().prop_map(|g| g.symmetrized())
+}
+
+proptest! {
+    #[test]
+    fn sparsify_edge_counts_never_exceed_target(g in graph(), frac in 0.05f64..1.0) {
+        let n = g.num_nodes();
+        let keep = ((n * (n - 1)) as f64 * frac).round().max(1.0) as usize;
+        let s = sparsify_to_density(&g, frac);
+        prop_assert!(s.num_edges() <= keep.max(g.num_edges().min(keep)));
+        prop_assert!(s.num_edges() <= g.num_edges());
+    }
+
+    #[test]
+    fn sparser_gdt_is_nested_in_denser(g in graph()) {
+        // Every edge kept at 20% must also be kept at 40%.
+        let s20 = sparsify_to_density(&g, 0.2);
+        let s40 = sparsify_to_density(&g, 0.4);
+        for (i, j, w) in s20.edges() {
+            prop_assert!(
+                (s40.weight(i, j) - w).abs() < 1e-12,
+                "edge ({i},{j}) lost when loosening the threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn sparsify_keeps_heaviest_edges(g in graph()) {
+        let s = sparsify_to_density(&g, 0.25);
+        let kept_min = s
+            .edges()
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold(f64::INFINITY, f64::min);
+        // No dropped edge may be strictly heavier than the lightest
+        // kept edge.
+        for (i, j, w) in g.edges() {
+            if s.weight(i, j) == 0.0 {
+                prop_assert!(w <= kept_min + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_out_degree_bound(g in graph(), k in 1usize..5) {
+        let t = top_k_per_row(&g, k);
+        for i in 0..t.num_nodes() {
+            let deg = (0..t.num_nodes()).filter(|&j| t.weight(i, j) > 0.0).count();
+            prop_assert!(deg <= k);
+        }
+    }
+
+    #[test]
+    fn gcn_norm_is_spectrally_bounded(g in symmetric_graph()) {
+        let a_hat = gcn_norm(&g);
+        prop_assert!(a_hat.all_finite());
+        let r = spectral_radius(&a_hat, 200);
+        prop_assert!(r <= 1.0 + 1e-6, "radius {r}");
+    }
+
+    #[test]
+    fn row_norm_self_loops_is_stochastic(g in graph()) {
+        let r = row_norm_self_loops(&g);
+        for i in 0..g.num_nodes() {
+            prop_assert!((r.row(i).sum() - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(r.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero(g in graph()) {
+        let l = laplacian(&g);
+        for i in 0..g.num_nodes() {
+            prop_assert!(l.row(i).sum().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_in_zero_two(g in symmetric_graph()) {
+        let l = normalized_laplacian(&g);
+        let r = spectral_radius(&l, 200);
+        prop_assert!(r <= 2.0 + 1e-6, "λmax {r}");
+    }
+
+    #[test]
+    fn chebyshev_stack_stays_bounded(g in symmetric_graph(), k in 1usize..5) {
+        let ts = chebyshev_from_adjacency(&g, k);
+        prop_assert_eq!(ts.len(), k);
+        for t in &ts {
+            prop_assert!(t.all_finite());
+            let r = spectral_radius(t, 200);
+            prop_assert!(r <= 1.0 + 1e-4, "‖T_k‖ {r}");
+        }
+    }
+
+    #[test]
+    fn random_graph_edge_count_is_exact(n in 3usize..10, seed in 0u64..1000) {
+        let possible = n * (n - 1);
+        let mut rng = Rng64::seed_from(seed);
+        for edges in [0, 1, possible / 2, possible] {
+            let g = random_with_edge_count(n, edges, &mut rng);
+            prop_assert_eq!(g.num_edges(), edges);
+        }
+    }
+
+    #[test]
+    fn correlation_is_symmetric_in_arguments(
+        (a, b) in (3usize..10, 0u64..10_000, 0u64..10_000).prop_map(|(n, s1, s2)| {
+            let mut r1 = Rng64::seed_from(s1);
+            let mut r2 = Rng64::seed_from(s2 ^ 0xdead_beef);
+            (
+                AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut r1)),
+                AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut r2)),
+            )
+        })
+    ) {
+        let ab = edge_weight_correlation(&a, &b);
+        let ba = edge_weight_correlation(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab.abs() <= 1.0 + 1e-12);
+    }
+}

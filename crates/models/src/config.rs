@@ -1,0 +1,79 @@
+//! Shared model hyper-parameters (paper Section V-D).
+
+/// Hyper-parameters common to every model.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Hidden units in every channel/layer (paper: 32).
+    pub hidden: usize,
+    /// Temporal kernel size (paper: k = 3); automatically reduced when
+    /// a window is shorter than the kernel.
+    pub kernel: usize,
+    /// Dropout rate (paper: 0.3).
+    pub dropout: f64,
+    /// MTGNN graph-learning embedding dimension.
+    pub embed_dim: usize,
+    /// MTGNN top-k neighbours kept per node in the learned graph.
+    pub graph_top_k: usize,
+    /// MTGNN saturation coefficient α of the graph learner.
+    pub graph_alpha: f64,
+    /// Mix-hop retain ratio β (fraction of the input state kept at each
+    /// propagation step).
+    pub mixhop_beta: f64,
+    /// Mix-hop propagation depth.
+    pub mixhop_depth: usize,
+    /// Attention projection width for attention modules.
+    pub attn_dim: usize,
+    /// Parameter-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            kernel: 3,
+            dropout: 0.3,
+            embed_dim: 10,
+            graph_top_k: 8,
+            graph_alpha: 3.0,
+            mixhop_beta: 0.05,
+            mixhop_depth: 2,
+            attn_dim: 16,
+            seed: 1,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A smaller configuration for fast tests.
+    #[must_use]
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            hidden: 8,
+            embed_dim: 4,
+            graph_top_k: 3,
+            attn_dim: 4,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ModelConfig::default();
+        assert_eq!(c.hidden, 32);
+        assert_eq!(c.kernel, 3);
+        assert!((c.dropout - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let c = ModelConfig::tiny(0);
+        assert!(c.hidden < ModelConfig::default().hidden);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of layers and optimizers.
+
+use ema_autodiff::Tape;
+use ema_nn::{Adam, GruCell, Linear, LstmCell, Optimizer, OptimizerConfig, ParamStore, Sgd};
+use ema_tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Adam drives a random convex quadratic `‖w − target‖²` to its
+    /// minimum from any start.
+    #[test]
+    fn adam_minimises_random_quadratics(
+        target in prop::collection::vec(-5.0f64..5.0, 1..6),
+        seed in 0u64..500,
+    ) {
+        let n = target.len();
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from(seed);
+        let w = store.register("w", Tensor::rand_normal(&[n], 0.0, 2.0, &mut rng));
+        let mut adam = Adam::new(OptimizerConfig::with_learning_rate(0.1));
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let binding = store.bind(&tape);
+            let t = tape.leaf(Tensor::from_vec1(target.clone()));
+            let loss = tape.mse(binding.var(w), t);
+            let grads = tape.backward(loss);
+            adam.step(&mut store, &binding, &grads);
+        }
+        for (wi, ti) in store.value(w).data().iter().zip(target.iter()) {
+            prop_assert!((wi - ti).abs() < 0.05, "w {wi} vs target {ti}");
+        }
+    }
+
+    /// SGD update magnitude is bounded by lr · clip regardless of the
+    /// gradient scale.
+    #[test]
+    fn sgd_clipping_bounds_updates(scale in 1.0f64..1e6, seed in 0u64..100) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from(seed);
+        let w = store.register("w", Tensor::rand_normal(&[3], 0.0, 1.0, &mut rng));
+        let before = store.value(w).clone();
+        let mut cfg = OptimizerConfig::with_learning_rate(0.1);
+        cfg.grad_clip = 1.0;
+        let mut sgd = Sgd::new(cfg);
+        let tape = Tape::new();
+        let binding = store.bind(&tape);
+        let huge = tape.scale(binding.var(w), scale);
+        let sq = tape.square(huge);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        sgd.step(&mut store, &binding, &grads);
+        let delta = store.value(w).sub(&before).norm();
+        prop_assert!(delta <= 0.1 + 1e-9, "update norm {delta} exceeds lr·clip");
+    }
+
+    /// GRU and LSTM hidden states stay in [−1, 1] for any input and any
+    /// number of steps when starting from zero state.
+    #[test]
+    fn recurrent_states_stay_bounded(
+        seed in 0u64..200,
+        steps in 1usize..12,
+        input_scale in 0.1f64..10.0,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from(seed);
+        let gru = GruCell::new(&mut store, "g", 4, 6, &mut rng);
+        let lstm = LstmCell::new(&mut store, "l", 4, 6, &mut rng);
+        let tape = Tape::new();
+        let binding = store.bind(&tape);
+        let xs: Vec<_> = (0..steps)
+            .map(|_| tape.leaf(Tensor::rand_normal(&[2, 4], 0.0, input_scale, &mut rng)))
+            .collect();
+        let h0 = tape.leaf(Tensor::zeros(&[2, 6]));
+        let g_states = gru.run_sequence(&tape, &binding, &xs, h0);
+        let s0 = lstm.zero_state(&tape, 2);
+        let l_states = lstm.run_sequence(&tape, &binding, &xs, s0);
+        for &s in g_states.iter().chain(l_states.iter()) {
+            let v = tape.value(s);
+            prop_assert!(v.all_finite());
+            prop_assert!(v.data().iter().all(|&x| x.abs() <= 1.0 + 1e-9));
+        }
+    }
+
+    /// A linear layer is, in fact, linear: f(αx + βy) = αf(x) + βf(y)
+    /// once the bias is removed.
+    #[test]
+    fn linear_layer_is_linear(seed in 0u64..200, alpha in -2.0f64..2.0, beta in -2.0f64..2.0) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::seed_from(seed);
+        let layer = Linear::new(&mut store, "l", 3, 4, &mut rng);
+        store.load(layer.b, Tensor::zeros(&[4]));
+        let x = Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng);
+        let y = Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng);
+
+        let apply = |input: &Tensor| {
+            let tape = Tape::new();
+            let binding = store.bind(&tape);
+            let v = tape.leaf(input.clone());
+            let out = layer.forward(&tape, &binding, v);
+            tape.value(out)
+        };
+        let combined = apply(&x.scale(alpha).add(&y.scale(beta)));
+        let separate = apply(&x).scale(alpha).add(&apply(&y).scale(beta));
+        for (a, b) in combined.data().iter().zip(separate.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Optimizer steps are deterministic: two identical runs stay
+    /// bit-identical.
+    #[test]
+    fn optimisation_is_deterministic(seed in 0u64..100) {
+        let run = || {
+            let mut store = ParamStore::new();
+            let mut rng = Rng64::seed_from(seed);
+            let w = store.register("w", Tensor::rand_normal(&[4], 0.0, 1.0, &mut rng));
+            let mut adam = Adam::new(OptimizerConfig::with_learning_rate(0.05));
+            for _ in 0..20 {
+                let tape = Tape::new();
+                let binding = store.bind(&tape);
+                let sq = tape.square(binding.var(w));
+                let loss = tape.sum_all(sq);
+                let grads = tape.backward(loss);
+                adam.step(&mut store, &binding, &grads);
+            }
+            store.value(w).data().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,69 @@
+//! Cosine similarity graphs — an additional metric beyond the paper's
+//! four, covering its future-work suggestion of "alternative types of
+//! distance metrics".
+
+use ema_graph::AdjacencyMatrix;
+use ema_tensor::Tensor;
+
+/// Cosine similarity between two series; 0 when either has zero norm.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[must_use]
+pub fn cosine_similarity(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series length mismatch");
+    let dot: f64 = x.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum();
+    let nx: f64 = x.iter().map(|&a| a * a).sum::<f64>().sqrt();
+    let ny: f64 = y.iter().map(|&b| b * b).sum::<f64>().sqrt();
+    if nx <= 0.0 || ny <= 0.0 {
+        return 0.0;
+    }
+    dot / (nx * ny)
+}
+
+/// Builds the cosine similarity graph of a `[T, V]` dataset with edge
+/// weight `|cos(x_i, x_j)|`.
+#[must_use]
+pub fn cosine_graph(data: &Tensor) -> AdjacencyMatrix {
+    assert_eq!(data.rank(), 2, "data must be [T, V]");
+    let v = data.dims()[1];
+    let cols: Vec<Tensor> = (0..v).map(|j| data.col(j)).collect();
+    let mut out = AdjacencyMatrix::empty(v);
+    for i in 0..v {
+        for j in (i + 1)..v {
+            let s = cosine_similarity(cols[i].data(), cols[j].data()).abs();
+            out.set_weight(i, j, s);
+            out.set_weight(j, i, s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_vectors_have_unit_similarity() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_zero_similarity() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_maps_to_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn graph_weights_in_unit_interval() {
+        let mut rng = ema_tensor::Rng64::seed_from(1);
+        let data = Tensor::rand_normal(&[30, 5], 0.0, 1.0, &mut rng);
+        let g = cosine_graph(&data);
+        assert!(g.is_symmetric());
+        assert!(g.weights().data().iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+}

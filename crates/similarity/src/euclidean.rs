@@ -1,0 +1,154 @@
+//! Euclidean distance between variable trajectories and Gaussian
+//! affinity conversion.
+
+use ema_graph::AdjacencyMatrix;
+use ema_tensor::Tensor;
+
+/// Euclidean distance between two equal-length series.
+///
+/// # Panics
+/// Panics if lengths differ or either series is empty.
+#[must_use]
+pub fn euclidean_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series length mismatch");
+    assert!(!x.is_empty(), "empty series");
+    x.iter()
+        .zip(y.iter())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Pairwise Euclidean distance matrix between the columns (variables)
+/// of a `[T, V]` data matrix. Output is `[V, V]`, symmetric with zero
+/// diagonal.
+///
+/// # Panics
+/// Panics unless `data` is rank 2.
+#[must_use]
+pub fn pairwise_distances(data: &Tensor) -> Tensor {
+    assert_eq!(data.rank(), 2, "data must be [T, V]");
+    let v = data.dims()[1];
+    let cols: Vec<Tensor> = (0..v).map(|j| data.col(j)).collect();
+    let mut out = Tensor::zeros(&[v, v]);
+    for i in 0..v {
+        for j in (i + 1)..v {
+            let d = euclidean_distance(cols[i].data(), cols[j].data());
+            out.set2(i, j, d);
+            out.set2(j, i, d);
+        }
+    }
+    out
+}
+
+/// Converts a distance matrix into affinities with a Gaussian kernel
+/// `exp(−d² / (2σ²))`, where `σ` is the mean off-diagonal distance.
+/// A degenerate all-zero distance matrix maps to the complete graph.
+///
+/// # Panics
+/// Panics unless `distances` is square rank 2.
+#[must_use]
+pub fn gaussian_affinity(distances: &Tensor) -> Tensor {
+    assert_eq!(distances.rank(), 2, "distance matrix must be rank 2");
+    let n = distances.dims()[0];
+    assert_eq!(n, distances.dims()[1], "distance matrix must be square");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += distances.at2(i, j);
+                count += 1;
+            }
+        }
+    }
+    let sigma = if count > 0 { sum / count as f64 } else { 0.0 };
+    if sigma <= 0.0 {
+        let mut out = Tensor::ones(&[n, n]);
+        for i in 0..n {
+            out.set2(i, i, 0.0);
+        }
+        return out;
+    }
+    let denom = 2.0 * sigma * sigma;
+    let mut out = distances.map(|d| (-d * d / denom).exp());
+    for i in 0..n {
+        out.set2(i, i, 0.0);
+    }
+    out
+}
+
+/// Builds the EUC similarity graph of a `[T, V]` individual dataset:
+/// pairwise distances → Gaussian affinities.
+#[must_use]
+pub fn euclidean_graph(data: &Tensor) -> AdjacencyMatrix {
+    AdjacencyMatrix::new(gaussian_affinity(&pairwise_distances(data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_is_symmetric_zero_diagonal() {
+        let data = Tensor::from_vec2(vec![
+            vec![1.0, 2.0, 10.0],
+            vec![2.0, 3.0, 20.0],
+            vec![3.0, 4.0, 30.0],
+        ])
+        .unwrap();
+        let d = pairwise_distances(&data);
+        assert_eq!(d.dims(), &[3, 3]);
+        for i in 0..3 {
+            assert_eq!(d.at2(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(d.at2(i, j), d.at2(j, i));
+            }
+        }
+        // Columns 0 and 1 differ by a constant 1 per step: d = sqrt(3).
+        assert!((d.at2(0, 1) - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_decreases_with_distance() {
+        let d = Tensor::from_vec2(vec![
+            vec![0.0, 1.0, 5.0],
+            vec![1.0, 0.0, 2.0],
+            vec![5.0, 2.0, 0.0],
+        ])
+        .unwrap();
+        let a = gaussian_affinity(&d);
+        assert!(a.at2(0, 1) > a.at2(0, 2));
+        assert!(a.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(a.at2(1, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_distances_give_complete_graph() {
+        let d = Tensor::zeros(&[3, 3]);
+        let a = gaussian_affinity(&d);
+        assert_eq!(a.at2(0, 1), 1.0);
+        assert_eq!(a.at2(0, 0), 0.0);
+    }
+
+    #[test]
+    fn graph_from_similar_columns_is_strong() {
+        // Columns 0, 1 nearly identical; column 2 wildly different.
+        let data = Tensor::from_vec2(vec![
+            vec![1.0, 1.1, 50.0],
+            vec![2.0, 2.1, -40.0],
+            vec![3.0, 2.9, 80.0],
+            vec![4.0, 4.2, -90.0],
+        ])
+        .unwrap();
+        let g = euclidean_graph(&data);
+        assert!(g.weight(0, 1) > g.weight(0, 2));
+        assert!(g.is_symmetric());
+    }
+}

@@ -1,0 +1,78 @@
+//! Human-readable formatting for tensors.
+
+use crate::Tensor;
+use std::fmt;
+
+impl fmt::Display for Tensor {
+    /// Formats small tensors fully and large ones as a shape summary.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX_FULL: usize = 64;
+        write!(f, "Tensor{:?}", self.dims())?;
+        if self.len() > MAX_FULL {
+            return write!(
+                f,
+                " {{ mean: {:.4}, std: {:.4}, min: {:.4}, max: {:.4} }}",
+                self.mean(),
+                self.std(),
+                self.min(),
+                self.max()
+            );
+        }
+        match self.rank() {
+            1 => {
+                write!(f, " [")?;
+                for (i, v) in self.data().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:.4}")?;
+                }
+                write!(f, "]")
+            }
+            2 => {
+                let (m, n) = (self.dims()[0], self.dims()[1]);
+                writeln!(f, " [")?;
+                for i in 0..m {
+                    write!(f, "  [")?;
+                    for j in 0..n {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{:.4}", self.data()[i * n + j])?;
+                    }
+                    writeln!(f, "]")?;
+                }
+                write!(f, "]")
+            }
+            _ => write!(f, " {{ {} elements }}", self.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_display_lists_values() {
+        let t = Tensor::from_vec1(vec![1.0, 2.5]);
+        let s = t.to_string();
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("2.5000"));
+    }
+
+    #[test]
+    fn matrix_display_has_rows() {
+        let t = Tensor::eye(2);
+        let s = t.to_string();
+        assert!(s.contains("[1.0000, 0.0000]"));
+    }
+
+    #[test]
+    fn large_tensor_summarised() {
+        let t = Tensor::zeros(&[100, 100]);
+        let s = t.to_string();
+        assert!(s.contains("mean"));
+        assert!(!s.contains("[0.0000, 0.0000"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for fallible tensor construction and conversion.
+
+use std::fmt;
+
+/// Errors produced by fallible `ema-tensor` operations.
+///
+/// Only operations that consume *external* data (e.g. building a tensor
+/// from user-provided vectors, or reshaping to a runtime-computed shape)
+/// return this error; internal shape violations panic instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the
+    /// requested dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A nested vector (rows of a matrix) had inconsistent lengths.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the first offending row.
+        row: usize,
+        /// Length of the offending row.
+        len: usize,
+    },
+    /// A reshape was requested whose element count differs from the
+    /// tensor's element count.
+    IncompatibleReshape {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested target shape.
+        to: Vec<usize>,
+    },
+    /// An empty shape or a zero-sized dimension was supplied where a
+    /// non-empty tensor is required.
+    EmptyShape,
+    /// An axis index was out of bounds for the tensor's rank.
+    AxisOutOfBounds {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            Self::RaggedRows { first, row, len } => write!(
+                f,
+                "row {row} has length {len} but the first row has length {first}"
+            ),
+            Self::IncompatibleReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}")
+            }
+            Self::EmptyShape => write!(f, "empty shapes are not supported"),
+            Self::AxisOutOfBounds { axis, rank } => {
+                write!(f, "axis {axis} out of bounds for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("6"));
+
+        let e = TensorError::IncompatibleReshape {
+            from: vec![2, 3],
+            to: vec![4, 2],
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TensorError::EmptyShape, TensorError::EmptyShape);
+        assert_ne!(
+            TensorError::EmptyShape,
+            TensorError::AxisOutOfBounds { axis: 1, rank: 1 }
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Linear algebra: matrix products, transposition, stacking.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Uses an ikj loop order so the inner loop walks both operands
+    /// contiguously (cache-friendly without BLAS).
+    ///
+    /// # Panics
+    /// Panics unless both operands are rank 2 with compatible inner dims.
+    #[must_use]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
+        );
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += aip * brow[j];
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out).expect("matmul output shape")
+    }
+
+    /// Matrix–vector product: `[m, k] x [k] -> [m]`.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2, `v` rank 1, with matching inner dim.
+    #[must_use]
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank 2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank 1");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(k, v.len(), "matvec inner dimension mismatch");
+        let a = self.data();
+        let x = v.data();
+        let mut out = vec![0.0; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x.iter()).map(|(&p, &q)| p * q).sum();
+        }
+        Tensor::from_vec1(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2.
+    #[must_use]
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let a = self.data();
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out).expect("transpose output shape")
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Panics
+    /// Panics unless both are rank 1 of equal length.
+    #[must_use]
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.rank(), 1, "dot lhs must be rank 1");
+        assert_eq!(other.rank(), 1, "dot rhs must be rank 1");
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] x [n] -> [m, n]`.
+    ///
+    /// # Panics
+    /// Panics unless both are rank 1.
+    #[must_use]
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer lhs must be rank 1");
+        assert_eq!(other.rank(), 1, "outer rhs must be rank 1");
+        let (m, n) = (self.len(), other.len());
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = self.data()[i] * other.data()[j];
+            }
+        }
+        Tensor::from_vec(&[m, n], out).expect("outer output shape")
+    }
+
+    /// Frobenius / L2 norm over all elements.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.data().iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Trace of a square rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is a square matrix.
+    #[must_use]
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rank(), 2, "trace requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(m, n, "trace requires a square matrix");
+        (0..n).map(|i| self.data()[i * n + i]).sum()
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2 and `i` in bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "row requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert!(i < m, "row index {i} out of bounds for {m} rows");
+        Tensor::from_vec1(self.data()[i * n..(i + 1) * n].to_vec())
+    }
+
+    /// Extracts column `j` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2 and `j` in bounds.
+    #[must_use]
+    pub fn col(&self, j: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "col requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert!(j < n, "column index {j} out of bounds for {n} columns");
+        Tensor::from_vec1((0..m).map(|i| self.data()[i * n + j]).collect())
+    }
+
+    /// Stacks rank-1 tensors of equal length into a `[rows.len(), len]`
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or lengths differ.
+    #[must_use]
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "cannot stack zero rows");
+        let n = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.rank(), 1, "stack_rows expects rank-1 tensors");
+            assert_eq!(r.len(), n, "row {i} has mismatched length");
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(&[rows.len(), n], data).expect("stack output shape")
+    }
+
+    /// Concatenates two matrices horizontally: `[m, a]` ++ `[m, b]` →
+    /// `[m, a + b]`.
+    ///
+    /// # Panics
+    /// Panics unless both are rank 2 with equal row counts.
+    #[must_use]
+    pub fn hcat(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "hcat lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "hcat rhs must be rank 2");
+        let (m, a) = (self.dims()[0], self.dims()[1]);
+        let (m2, b) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(m, m2, "hcat row count mismatch");
+        let mut data = Vec::with_capacity(m * (a + b));
+        for i in 0..m {
+            data.extend_from_slice(&self.data()[i * a..(i + 1) * a]);
+            data.extend_from_slice(&other.data()[i * b..(i + 1) * b]);
+        }
+        Tensor::from_vec(&[m, a + b], data).expect("hcat output shape")
+    }
+
+    /// Concatenates two matrices vertically: `[a, n]` ++ `[b, n]` →
+    /// `[a + b, n]`.
+    ///
+    /// # Panics
+    /// Panics unless both are rank 2 with equal column counts.
+    #[must_use]
+    pub fn vcat(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "vcat lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "vcat rhs must be rank 2");
+        let (a, n) = (self.dims()[0], self.dims()[1]);
+        let (b, n2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(n, n2, "vcat column count mismatch");
+        let mut data = Vec::with_capacity((a + b) * n);
+        data.extend_from_slice(self.data());
+        data.extend_from_slice(other.data());
+        Tensor::from_vec(&[a + b, n], data).expect("vcat output shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_tensors_close;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec2(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Tensor::from_vec2(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(&[3, 3], (0..9).map(f64::from).collect()).unwrap();
+        assert_tensors_close(&a.matmul(&Tensor::eye(3)), &a, 1e-12);
+        assert_tensors_close(&Tensor::eye(3).matmul(&a), &a, 1e-12);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0; 6]).unwrap();
+        let b = Tensor::from_vec(&[3, 4], vec![2.0; 12]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 4]);
+        assert!(c.data().iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_checks_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec2(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = Tensor::from_vec1(vec![5.0, 6.0]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshaped(&[2, 1]));
+        assert_eq!(mv.data(), mm.data());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(f64::from).collect()).unwrap();
+        assert_tensors_close(&a.transpose().transpose(), &a, 0.0);
+        assert_eq!(a.transpose().dims(), &[3, 2]);
+        assert_eq!(a.transpose().at2(2, 1), a.at2(1, 2));
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let u = Tensor::from_vec1(vec![1.0, 2.0]);
+        let v = Tensor::from_vec1(vec![3.0, 4.0]);
+        assert_eq!(u.dot(&v), 11.0);
+        let o = u.outer(&v);
+        assert_eq!(o.dims(), &[2, 2]);
+        assert_eq!(o.data(), &[3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn trace_and_norm() {
+        let a = Tensor::from_vec2(vec![vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert_eq!(a.trace(), 7.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn rows_cols_and_stack() {
+        let a = Tensor::from_vec2(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(1).data(), &[3.0, 4.0]);
+        assert_eq!(a.col(0).data(), &[1.0, 3.0]);
+        let restacked = Tensor::stack_rows(&[a.row(0), a.row(1)]);
+        assert_tensors_close(&restacked, &a, 0.0);
+    }
+
+    #[test]
+    fn hcat_vcat() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 1]);
+        let h = a.hcat(&b);
+        assert_eq!(h.dims(), &[2, 3]);
+        assert_eq!(h.at2(0, 2), 0.0);
+        let c = Tensor::zeros(&[1, 2]);
+        let v = a.vcat(&c);
+        assert_eq!(v.dims(), &[3, 2]);
+        assert_eq!(v.at2(2, 0), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic random tensor initialisation.
+//!
+//! A thin wrapper over a seeded PRNG plus Box–Muller normal sampling so
+//! the workspace does not need `rand_distr`. Every experiment in the
+//! paper reproduction is seeded, which makes tables exactly reproducible.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source for tensor initialisation and data generation.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds normal sampling via the
+/// Box–Muller transform.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+    /// Cached second normal sample from the last Box–Muller pair.
+    spare: Option<f64>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_in bounds inverted: {lo} >= {hi}");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std < 0`.
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        assert!(std >= 0.0, "negative standard deviation {std}");
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        self.uniform() < p
+    }
+
+    /// A random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.index(i + 1);
+            p.swap(i, j);
+        }
+        p
+    }
+
+    /// Splits off an independent generator seeded from this one, so
+    /// per-individual streams do not interact.
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::seed_from(self.inner.gen::<u64>())
+    }
+}
+
+impl Tensor {
+    /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics on an invalid shape or inverted bounds.
+    #[must_use]
+    pub fn rand_uniform(dims: &[usize], lo: f64, hi: f64, rng: &mut Rng64) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for v in t.data_mut() {
+            *v = rng.uniform_in(lo, hi);
+        }
+        t
+    }
+
+    /// Tensor with i.i.d. normal entries.
+    ///
+    /// # Panics
+    /// Panics on an invalid shape or negative std.
+    #[must_use]
+    pub fn rand_normal(dims: &[usize], mean: f64, std: f64, rng: &mut Rng64) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        for v in t.data_mut() {
+            *v = rng.normal_with(mean, std);
+        }
+        t
+    }
+
+    /// Xavier/Glorot uniform initialisation for a `[fan_out, fan_in]`
+    /// weight matrix: uniform in `±sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// # Panics
+    /// Panics unless `dims` has rank 2.
+    #[must_use]
+    pub fn xavier_uniform(dims: &[usize], rng: &mut Rng64) -> Tensor {
+        assert_eq!(dims.len(), 2, "xavier init expects a weight matrix");
+        let bound = (6.0 / (dims[0] + dims[1]) as f64).sqrt();
+        Tensor::rand_uniform(dims, -bound, bound, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng64::seed_from(42);
+        let mut b = Rng64::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.normal(), b.normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from(1);
+        let mut b = Rng64::seed_from(2);
+        let same = (0..16).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng64::seed_from(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn bernoulli_rate_is_sane() {
+        let mut rng = Rng64::seed_from(3);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = Rng64::seed_from(9);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng64::seed_from(11);
+        let w = Tensor::xavier_uniform(&[32, 64], &mut rng);
+        let bound = (6.0 / 96.0f64).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        // Should not be degenerate.
+        assert!(w.std() > bound / 4.0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng64::seed_from(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let a: Vec<f64> = (0..8).map(|_| c1.uniform()).collect();
+        let b: Vec<f64> = (0..8).map(|_| c2.uniform()).collect();
+        assert_ne!(a, b);
+    }
+}

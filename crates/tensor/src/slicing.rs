@@ -1,0 +1,160 @@
+//! Sub-tensor extraction: row ranges, windows and axis selection.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Extracts rows `[start, end)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2 and `start < end <= rows`.
+    #[must_use]
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "slice_rows requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert!(
+            start < end && end <= m,
+            "invalid row range {start}..{end} for {m} rows"
+        );
+        let data = self.data()[start * n..end * n].to_vec();
+        Tensor::from_vec(&[end - start, n], data).expect("slice_rows shape")
+    }
+
+    /// Extracts columns `[start, end)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2 and `start < end <= cols`.
+    #[must_use]
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "slice_cols requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert!(
+            start < end && end <= n,
+            "invalid column range {start}..{end} for {n} columns"
+        );
+        let w = end - start;
+        let mut data = Vec::with_capacity(m * w);
+        for i in 0..m {
+            data.extend_from_slice(&self.data()[i * n + start..i * n + end]);
+        }
+        Tensor::from_vec(&[m, w], data).expect("slice_cols shape")
+    }
+
+    /// Extracts the `i`-th slab along axis 0 of a rank-3 tensor,
+    /// producing a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 3 and `i` in bounds.
+    #[must_use]
+    pub fn slab(&self, i: usize) -> Tensor {
+        assert_eq!(self.rank(), 3, "slab requires rank 3");
+        let (d0, d1, d2) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        assert!(i < d0, "slab index {i} out of bounds for {d0}");
+        let size = d1 * d2;
+        let data = self.data()[i * size..(i + 1) * size].to_vec();
+        Tensor::from_vec(&[d1, d2], data).expect("slab shape")
+    }
+
+    /// Stacks rank-2 tensors of identical shape into a rank-3 tensor
+    /// along a new leading axis.
+    ///
+    /// # Panics
+    /// Panics if `slabs` is empty or shapes differ.
+    #[must_use]
+    pub fn stack_slabs(slabs: &[Tensor]) -> Tensor {
+        assert!(!slabs.is_empty(), "cannot stack zero slabs");
+        let dims = slabs[0].dims().to_vec();
+        assert_eq!(dims.len(), 2, "stack_slabs expects rank-2 tensors");
+        let mut data = Vec::with_capacity(slabs.len() * slabs[0].len());
+        for (i, s) in slabs.iter().enumerate() {
+            assert_eq!(s.dims(), &dims[..], "slab {i} has mismatched shape");
+            data.extend_from_slice(s.data());
+        }
+        Tensor::from_vec(&[slabs.len(), dims[0], dims[1]], data).expect("stack_slabs shape")
+    }
+
+    /// Pads a rank-2 tensor with `before` zero-rows at the top.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2.
+    #[must_use]
+    pub fn pad_rows_front(&self, before: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "pad_rows_front requires rank 2");
+        if before == 0 {
+            return self.clone();
+        }
+        let n = self.dims()[1];
+        Tensor::zeros(&[before, n]).vcat(self)
+    }
+
+    /// Returns the last `k` rows of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics unless `self` is rank 2 and `0 < k <= rows`.
+    #[must_use]
+    pub fn last_rows(&self, k: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "last_rows requires rank 2");
+        let m = self.dims()[0];
+        assert!(k > 0 && k <= m, "invalid last_rows count {k} for {m} rows");
+        self.slice_rows(m - k, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_tensors_close;
+
+    fn grid() -> Tensor {
+        // [[0,1,2],[3,4,5],[6,7,8],[9,10,11]]
+        Tensor::from_vec(&[4, 3], (0..12).map(f64::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn slice_rows_extracts_range() {
+        let g = grid();
+        let s = g.slice_rows(1, 3);
+        assert_eq!(s.dims(), &[2, 3]);
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn slice_cols_extracts_range() {
+        let g = grid();
+        let s = g.slice_cols(1, 3);
+        assert_eq!(s.dims(), &[4, 2]);
+        assert_eq!(s.row(0).data(), &[1.0, 2.0]);
+        assert_eq!(s.row(3).data(), &[10.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid row range")]
+    fn slice_rows_checks_bounds() {
+        let _ = grid().slice_rows(2, 5);
+    }
+
+    #[test]
+    fn slab_round_trip() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let s = Tensor::stack_slabs(&[a.clone(), b.clone()]);
+        assert_eq!(s.dims(), &[2, 2, 3]);
+        assert_tensors_close(&s.slab(0), &a, 0.0);
+        assert_tensors_close(&s.slab(1), &b, 0.0);
+    }
+
+    #[test]
+    fn pad_rows_front_prepends_zeros() {
+        let g = grid();
+        let p = g.pad_rows_front(2);
+        assert_eq!(p.dims(), &[6, 3]);
+        assert_eq!(p.row(0).data(), &[0.0, 0.0, 0.0]);
+        assert_tensors_close(&p.slice_rows(2, 6), &g, 0.0);
+    }
+
+    #[test]
+    fn last_rows_takes_tail() {
+        let g = grid();
+        let t = g.last_rows(1);
+        assert_eq!(t.data(), &[9.0, 10.0, 11.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Reduced-scale checks that the paper's qualitative findings hold:
+//! the *shape* of the results (who wins) rather than absolute values.
+//!
+//! These use small cohorts and short schedules so they run in CI; the
+//! bench binaries reproduce the full tables.
+
+use ema_core::experiments::ExperimentScale;
+use ema_core::pipeline::{run_cohort, GraphSpec};
+use ema_core::results::CellStat;
+use ema_graph::sparsify::DensityThreshold;
+use ema_models::ModelKind;
+use ema_similarity::GraphMetric;
+
+fn shape_scale() -> ExperimentScale {
+    let mut s = ExperimentScale::tiny();
+    s.num_individuals = 4;
+    s.num_variables = 8;
+    s.mean_time_points = 100;
+    s.epochs = 50;
+    s.data_seed = 31337;
+    s
+}
+
+fn cohort_mean(scale: &ExperimentScale, model: ModelKind, graph: GraphSpec, seq: usize) -> f64 {
+    let ds = scale.dataset();
+    let spec = scale.spec(model, graph, seq);
+    let mses: Vec<f64> = run_cohort(&ds, &spec).iter().map(|o| o.mse).collect();
+    CellStat::from_samples(&mses).mean
+}
+
+#[test]
+fn mtgnn_beats_lstm_on_average() {
+    // The paper's headline: MTGNN ≈ 0.84 vs LSTM ≈ 1.02.
+    let scale = shape_scale();
+    let corr = GraphSpec::Static {
+        metric: GraphMetric::Correlation,
+        gdt: DensityThreshold::Gdt20,
+    };
+    let lstm = cohort_mean(&scale, ModelKind::Lstm, GraphSpec::None, 5);
+    let mtgnn = cohort_mean(&scale, ModelKind::Mtgnn, corr, 5);
+    assert!(
+        mtgnn < lstm,
+        "MTGNN ({mtgnn:.3}) did not beat LSTM ({lstm:.3})"
+    );
+}
+
+#[test]
+fn models_learn_beyond_the_zero_predictor() {
+    // On z-normalised data, predicting 0 gives MSE ≈ 1; trained models
+    // must do better (the paper's GNNs land at 0.84–0.9).
+    let scale = shape_scale();
+    let corr = GraphSpec::Static {
+        metric: GraphMetric::Correlation,
+        gdt: DensityThreshold::Gdt20,
+    };
+    let mtgnn = cohort_mean(&scale, ModelKind::Mtgnn, corr, 5);
+    assert!(mtgnn < 1.05, "MTGNN ({mtgnn:.3}) not better than chance");
+}
+
+#[test]
+fn random_graph_hurts_astgcn_more_than_mtgnn() {
+    // Paper: ASTGCN degrades to ~1.06 with RAND while MTGNN repairs the
+    // graph (~0.85). Check the degradation *ordering* at reduced scale:
+    // the random-vs-correlation gap should be worse for ASTGCN.
+    let scale = shape_scale();
+    let gdt = DensityThreshold::Gdt20;
+    let corr = |m| {
+        cohort_mean(
+            &scale,
+            m,
+            GraphSpec::Static {
+                metric: GraphMetric::Correlation,
+                gdt,
+            },
+            5,
+        )
+    };
+    let rand = |m| {
+        cohort_mean(
+            &scale,
+            m,
+            GraphSpec::Static {
+                metric: GraphMetric::Random(99),
+                gdt,
+            },
+            5,
+        )
+    };
+    let astgcn_gap = rand(ModelKind::Astgcn) - corr(ModelKind::Astgcn);
+    let mtgnn_gap = rand(ModelKind::Mtgnn) - corr(ModelKind::Mtgnn);
+    assert!(
+        astgcn_gap > mtgnn_gap - 0.05,
+        "random graphs hurt MTGNN ({mtgnn_gap:.3}) more than ASTGCN ({astgcn_gap:.3})"
+    );
+}
+
+#[test]
+fn gnn_mse_is_in_a_sane_band() {
+    // All trained models should land in a plausible MSE band on
+    // z-normalised data: far below 2 and above 0.
+    let scale = shape_scale();
+    for (model, graph) in [
+        (ModelKind::Lstm, GraphSpec::None),
+        (
+            ModelKind::A3tgcn,
+            GraphSpec::Static {
+                metric: GraphMetric::Euclidean,
+                gdt: DensityThreshold::Gdt20,
+            },
+        ),
+    ] {
+        let m = cohort_mean(&scale, model, graph, 2);
+        assert!(
+            m > 0.05 && m < 2.0,
+            "{} MSE {m:.3} outside sane band",
+            model.label()
+        );
+    }
+}
