@@ -383,6 +383,76 @@ fn grad_linear_weight() {
 }
 
 #[test]
+fn grad_neg() {
+    let x = rand(&[3, 4], 55);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let n = t.neg(v);
+        let sq = t.square(n);
+        let n2 = t.neg(sq);
+        t.sum_all(n2)
+    });
+}
+
+#[test]
+fn grad_flatten() {
+    let x = rand(&[3, 4], 56);
+    let w = rand(&[12], 57);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let f = t.flatten(v);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(f, wl);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_attention_scores() {
+    let q = rand(&[3, 4], 58);
+    let k = rand(&[5, 4], 59);
+    let w = rand(&[3, 5], 60);
+    assert_gradients_close(&q, 1e-4, |t, var| {
+        let kl = t.leaf(k.clone());
+        let s = t.attention_scores(var, kl);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(s, wl);
+        t.sum_all(p)
+    });
+    assert_gradients_close(&k, 1e-4, |t, var| {
+        let ql = t.leaf(q.clone());
+        let s = t.attention_scores(ql, var);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(s, wl);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_dropout_with_fixed_mask() {
+    // Recreate the mask RNG inside the closure so every finite-difference
+    // evaluation sees the identical dropout mask — the masked graph is
+    // then an ordinary differentiable function.
+    let x = rand(&[4, 4], 61);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let mut mask_rng = Rng64::seed_from(62);
+        let d = t.dropout(v, 0.4, true, &mut mask_rng);
+        let sq = t.square(d);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_dropout_eval_mode_is_identity() {
+    let x = rand(&[4, 4], 63);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let mut mask_rng = Rng64::seed_from(64);
+        let d = t.dropout(v, 0.4, false, &mut mask_rng);
+        let sq = t.square(d);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
 fn tape_reuse_multiple_backwards() {
     // Two backward passes over the same tape agree.
     let tape = Tape::new();

@@ -1,12 +1,12 @@
 //! Property-based tests of the autodiff engine: calculus identities
 //! that must hold for arbitrary inputs and compositions.
 
+use ema_check::{gen, prop_assert, prop_tests};
 use ema_autodiff::{Tape, Var};
-use ema_tensor::Tensor;
-use proptest::prelude::*;
+use ema_tensor::{Rng64, Tensor};
 
-fn vec_tensor(n: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-3.0f64..3.0, n..=n).prop_map(Tensor::from_vec1)
+fn vec_tensor(n: usize) -> impl Fn(&mut Rng64) -> Tensor {
+    move |rng| Tensor::from_vec1(gen::vec_f64_len(rng, -3.0, 3.0, n))
 }
 
 /// A small catalogue of differentiable unary ops to compose.
@@ -33,24 +33,24 @@ impl UnaryOp {
     }
 }
 
-fn unary_op() -> impl Strategy<Value = UnaryOp> {
-    prop_oneof![
-        Just(UnaryOp::Tanh),
-        Just(UnaryOp::Sigmoid),
-        Just(UnaryOp::Square),
-        Just(UnaryOp::ScaleHalf),
-        Just(UnaryOp::AddOne),
-        Just(UnaryOp::LeakyRelu),
-    ]
+const ALL_OPS: [UnaryOp; 6] = [
+    UnaryOp::Tanh,
+    UnaryOp::Sigmoid,
+    UnaryOp::Square,
+    UnaryOp::ScaleHalf,
+    UnaryOp::AddOne,
+    UnaryOp::LeakyRelu,
+];
+
+fn op_chain(rng: &mut Rng64) -> Vec<UnaryOp> {
+    gen::vec_of(gen::one_of(&ALL_OPS), 1, 5)(rng)
 }
 
-proptest! {
+prop_tests! {
     /// Chain rule: any random composition of smooth unary ops matches a
     /// central finite difference.
-    #[test]
     fn random_compositions_pass_gradient_check(
-        x in vec_tensor(5),
-        ops in prop::collection::vec(unary_op(), 1..5),
+        (x, ops) in |rng: &mut Rng64| (vec_tensor(5)(rng), op_chain(rng)),
     ) {
         // Keep clear of the leaky-ReLU kink where finite differences lie.
         let x = x.map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
@@ -70,7 +70,6 @@ proptest! {
     }
 
     /// d(sum)/dx is exactly a tensor of ones.
-    #[test]
     fn grad_of_sum_is_ones(x in vec_tensor(7)) {
         let tape = Tape::new();
         let v = tape.leaf(x.clone());
@@ -81,8 +80,9 @@ proptest! {
     }
 
     /// Linearity: ∇(α·f) = α·∇f.
-    #[test]
-    fn gradients_scale_linearly(x in vec_tensor(6), alpha in -3.0f64..3.0) {
+    fn gradients_scale_linearly(
+        (x, alpha) in |rng: &mut Rng64| (vec_tensor(6)(rng), gen::f64_in(rng, -3.0, 3.0)),
+    ) {
         let grad_of = |scale: f64| {
             let tape = Tape::new();
             let v = tape.leaf(x.clone());
@@ -100,7 +100,6 @@ proptest! {
     }
 
     /// Additivity: ∇(f + g) = ∇f + ∇g when f and g share the input.
-    #[test]
     fn gradients_add(x in vec_tensor(6)) {
         let grad_combined = {
             let tape = Tape::new();
@@ -133,7 +132,6 @@ proptest! {
     }
 
     /// MSE gradient at the minimum is zero, and grows with the residual.
-    #[test]
     fn mse_gradient_points_at_target(x in vec_tensor(5)) {
         let tape = Tape::new();
         let v = tape.leaf(x.clone());
@@ -148,8 +146,9 @@ proptest! {
     }
 
     /// Constant leaves that do not feed the loss receive no gradient.
-    #[test]
-    fn disconnected_leaves_get_no_gradient(x in vec_tensor(4), y in vec_tensor(4)) {
+    fn disconnected_leaves_get_no_gradient(
+        (x, y) in |rng: &mut Rng64| (vec_tensor(4)(rng), vec_tensor(4)(rng)),
+    ) {
         let tape = Tape::new();
         let vx = tape.leaf(x);
         let vy = tape.leaf(y);
@@ -161,7 +160,6 @@ proptest! {
     }
 
     /// Softmax gradient rows sum to ~0 (probability mass is conserved).
-    #[test]
     fn softmax_grad_rows_sum_to_zero(x in vec_tensor(6)) {
         let tape = Tape::new();
         let v = tape.leaf(x);

@@ -1,11 +1,12 @@
 //! Benchmarks of one forward pass (and forward+backward) per model at
 //! paper dimensions: V = 26, hidden = 32, Seq5 windows.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ema_autodiff::Tape;
+use ema_bench::Harness;
 use ema_graph::AdjacencyMatrix;
 use ema_models::{build_model, Forecaster, ForwardCtx, ModelConfig, ModelKind};
 use ema_tensor::{Rng64, Tensor};
+use std::hint::black_box;
 
 const V: usize = 26;
 const SEQ: usize = 5;
@@ -20,7 +21,7 @@ fn setup(kind: ModelKind) -> (Box<dyn Forecaster>, Tensor) {
     (model, window)
 }
 
-fn bench_forward(c: &mut Criterion) {
+fn bench_forward(c: &mut Harness) {
     for kind in ModelKind::all() {
         let (model, window) = setup(kind);
         let mut rng = Rng64::seed_from(2);
@@ -30,7 +31,7 @@ fn bench_forward(c: &mut Criterion) {
     }
 }
 
-fn bench_forward_backward(c: &mut Criterion) {
+fn bench_forward_backward(c: &mut Harness) {
     for kind in ModelKind::all() {
         let (model, window) = setup(kind);
         let target = Tensor::zeros(&[V]);
@@ -49,12 +50,9 @@ fn bench_forward_backward(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_forward, bench_forward_backward
+fn main() {
+    let mut harness = Harness::new("model_step");
+    bench_forward(&mut harness);
+    bench_forward_backward(&mut harness);
+    harness.finish();
 }
-criterion_main!(benches);

@@ -1,16 +1,17 @@
 //! Benchmarks of the graph-construction metrics at paper scale
 //! (T = 140 time points, V = 26 variables).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ema_bench::Harness;
 use ema_similarity::{build_graph, dtw, GraphMetric};
 use ema_tensor::{Rng64, Tensor};
+use std::hint::black_box;
 
 fn paper_scale_data() -> Tensor {
     let mut rng = Rng64::seed_from(7);
     Tensor::rand_normal(&[140, 26], 0.0, 1.0, &mut rng)
 }
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics(c: &mut Harness) {
     let data = paper_scale_data();
     for metric in [
         GraphMetric::Euclidean,
@@ -24,7 +25,7 @@ fn bench_metrics(c: &mut Criterion) {
     }
 }
 
-fn bench_dtw(c: &mut Criterion) {
+fn bench_dtw(c: &mut Harness) {
     let mut rng = Rng64::seed_from(8);
     let x: Vec<f64> = (0..140).map(|_| rng.normal()).collect();
     let y: Vec<f64> = (0..140).map(|_| rng.normal()).collect();
@@ -40,12 +41,9 @@ fn bench_dtw(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_metrics, bench_dtw
+fn main() {
+    let mut harness = Harness::new("similarity_metrics");
+    bench_metrics(&mut harness);
+    bench_dtw(&mut harness);
+    harness.finish();
 }
-criterion_main!(benches);

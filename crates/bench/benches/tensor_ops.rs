@@ -1,10 +1,11 @@
 //! Microbenchmarks of the tensor substrate at EMA-relevant sizes
 //! (V = 26 variables, hidden = 32).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ema_bench::Harness;
 use ema_tensor::{Rng64, Tensor};
+use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul(c: &mut Harness) {
     let mut rng = Rng64::seed_from(1);
     let a = Tensor::rand_normal(&[26, 32], 0.0, 1.0, &mut rng);
     let b = Tensor::rand_normal(&[32, 32], 0.0, 1.0, &mut rng);
@@ -19,7 +20,7 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
-fn bench_elementwise(c: &mut Criterion) {
+fn bench_elementwise(c: &mut Harness) {
     let mut rng = Rng64::seed_from(2);
     let a = Tensor::rand_normal(&[26, 32], 0.0, 1.0, &mut rng);
     let b = Tensor::rand_normal(&[26, 32], 0.0, 1.0, &mut rng);
@@ -34,7 +35,7 @@ fn bench_elementwise(c: &mut Criterion) {
     });
 }
 
-fn bench_reductions(c: &mut Criterion) {
+fn bench_reductions(c: &mut Harness) {
     let mut rng = Rng64::seed_from(3);
     let a = Tensor::rand_normal(&[140, 26], 0.0, 1.0, &mut rng);
     let b = Tensor::rand_normal(&[140, 26], 0.0, 1.0, &mut rng);
@@ -46,5 +47,10 @@ fn bench_reductions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_elementwise, bench_reductions);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("tensor_ops");
+    bench_matmul(&mut harness);
+    bench_elementwise(&mut harness);
+    bench_reductions(&mut harness);
+    harness.finish();
+}

@@ -4,18 +4,19 @@
 //! shortened to T = 80 and sampling kept small so the suite stays
 //! tractable on a single core; relative model costs are unaffected.)
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ema_autodiff::Tape;
+use ema_bench::Harness;
 use ema_data::{make_windows, split_train_test};
 use ema_graph::AdjacencyMatrix;
 use ema_models::{build_model, ForwardCtx, ModelConfig, ModelKind};
 use ema_nn::{Adam, Optimizer, OptimizerConfig};
 use ema_tensor::{Rng64, Tensor};
+use std::hint::black_box;
 
 const V: usize = 26;
 const SEQ: usize = 5;
 
-fn bench_epoch(c: &mut Criterion) {
+fn bench_epoch(c: &mut Harness) {
     let mut rng = Rng64::seed_from(1);
     let data = Tensor::rand_normal(&[80, V], 0.0, 1.0, &mut rng);
     let (train, _) = split_train_test(&data, 0.7);
@@ -49,12 +50,8 @@ fn bench_epoch(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_epoch
+fn main() {
+    let mut harness = Harness::new("training_epoch");
+    bench_epoch(&mut harness);
+    harness.finish();
 }
-criterion_main!(benches);

@@ -1,0 +1,254 @@
+//! Minimal Criterion-style micro-benchmark harness.
+//!
+//! Each `[[bench]]` target (`harness = false`) builds a [`Harness`],
+//! registers closures with [`Harness::bench_function`], and calls
+//! [`Harness::finish`], which prints a table and writes
+//! `results/BENCH_<suite>.json`.
+//!
+//! Methodology per benchmark: a wall-clock warmup estimates the
+//! per-iteration cost, iterations are calibrated so one sample takes
+//! roughly [`Config::sample_ms`], and the reported figure is the
+//! median over [`Config::samples`] samples (median is robust to the
+//! odd scheduler hiccup, unlike the mean).
+//!
+//! Knobs (for CI or quick local runs):
+//! - `EMA_BENCH_SAMPLES`: sample count (default 15)
+//! - `EMA_BENCH_SAMPLE_MS`: target milliseconds per sample (default 20)
+//! - a positional CLI argument filters benchmarks by substring, as in
+//!   `cargo bench -p ema-bench --bench tensor_ops -- matmul`
+
+use ema_core::Json;
+use std::time::Instant;
+
+/// Harness-wide settings, resolved from the environment once.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Samples per benchmark; the median is reported.
+    pub samples: usize,
+    /// Target wall-clock per sample, in milliseconds.
+    pub sample_ms: f64,
+    /// Warmup wall-clock before calibration, in milliseconds.
+    pub warmup_ms: f64,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let env_num = |key: &str, default: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| *v > 0.0)
+                .unwrap_or(default)
+        };
+        Self {
+            samples: env_num("EMA_BENCH_SAMPLES", 15.0) as usize,
+            sample_ms: env_num("EMA_BENCH_SAMPLE_MS", 20.0),
+            warmup_ms: env_num("EMA_BENCH_SAMPLE_MS", 20.0).min(50.0),
+        }
+    }
+}
+
+/// Timing results for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name as registered.
+    pub name: String,
+    /// Median nanoseconds per iteration over all samples.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Mean over all samples, ns per iteration.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("min_ns", Json::Num(self.min_ns)),
+            ("mean_ns", Json::Num(self.mean_ns)),
+            ("samples", Json::Num(self.samples as f64)),
+            ("iters_per_sample", Json::Num(self.iters_per_sample as f64)),
+        ])
+    }
+}
+
+/// Per-benchmark driver handed to the registered closure; call
+/// [`Bencher::iter`] exactly once with the workload.
+pub struct Bencher {
+    config: Config,
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Warm up, calibrate and sample `f`, recording the statistics.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: run until the warmup budget elapses, counting iters to
+        // get a first cost estimate.
+        let warmup_budget = self.config.warmup_ms / 1e3;
+        let start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while start.elapsed().as_secs_f64() < warmup_budget {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns = start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+
+        // Calibrate so each sample takes ~sample_ms.
+        let iters = ((self.config.sample_ms * 1e6 / est_ns.max(1.0)).ceil() as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        self.result = Some((median, min, mean, iters));
+    }
+}
+
+/// Collects benchmarks for one suite and writes the JSON record.
+pub struct Harness {
+    suite: String,
+    config: Config,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite, reading the env config
+    /// and an optional substring filter from the CLI arguments (flags
+    /// such as `--bench` that cargo forwards are ignored).
+    #[must_use]
+    pub fn new(suite: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Self {
+            suite: suite.to_string(),
+            config: Config::from_env(),
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark (unless filtered out) and records its stats.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: self.config,
+            result: None,
+        };
+        f(&mut bencher);
+        let (median_ns, min_ns, mean_ns, iters) = bencher
+            .result
+            .expect("benchmark closure must call Bencher::iter");
+        println!(
+            "{:<40} median {:>12} /iter  (min {}, {} samples × {} iters)",
+            name,
+            format_ns(median_ns),
+            format_ns(min_ns),
+            self.config.samples,
+            iters,
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns,
+            min_ns,
+            mean_ns,
+            samples: self.config.samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Prints the footer and writes `results/BENCH_<suite>.json`.
+    pub fn finish(self) {
+        let json = Json::obj(vec![
+            ("suite", Json::Str(self.suite.clone())),
+            (
+                "benchmarks",
+                Json::Arr(self.results.iter().map(BenchResult::to_json_value).collect()),
+            ),
+        ])
+        .pretty();
+        if let Some(path) = crate::save_json(&format!("BENCH_{}", self.suite), &json) {
+            println!("{} benchmarks -> {}", self.results.len(), path.display());
+        }
+    }
+}
+
+/// Renders a nanosecond figure with a readable unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_harness_records() {
+        let mut bencher = Bencher {
+            config: Config {
+                samples: 3,
+                sample_ms: 0.05,
+                warmup_ms: 0.05,
+            },
+            result: None,
+        };
+        bencher.iter(|| std::hint::black_box(42u64.wrapping_mul(7)));
+        let (median, min, mean, iters) = bencher.result.unwrap();
+        assert!(median > 0.0 && min > 0.0 && mean > 0.0);
+        assert!(min <= median && median <= mean * 3.0);
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn results_serialise_to_bench_json_shape() {
+        let r = BenchResult {
+            name: "matmul".into(),
+            median_ns: 1234.5,
+            min_ns: 1200.0,
+            mean_ns: 1250.0,
+            samples: 15,
+            iters_per_sample: 1000,
+        };
+        let v = r.to_json_value();
+        assert_eq!(v.require("name").unwrap().to_str().unwrap(), "matmul");
+        assert_eq!(v.require("median_ns").unwrap().to_f64().unwrap(), 1234.5);
+        // Round trip through the writer/parser.
+        let parsed = Json::parse(&v.pretty()).unwrap();
+        assert_eq!(parsed.require("samples").unwrap().to_usize().unwrap(), 15);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12e9).ends_with('s'));
+    }
+}

@@ -1,7 +1,9 @@
 //! # ema-bench
 //!
 //! The benchmark harness that regenerates every table and figure of the
-//! paper's evaluation, plus Criterion microbenchmarks of the substrate.
+//! paper's evaluation, plus in-house microbenchmarks of the substrate
+//! (see [`harness`]; `cargo bench --workspace` writes
+//! `results/BENCH_<suite>.json` records).
 //!
 //! ## Table/figure binaries
 //!
@@ -20,8 +22,12 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
+pub use harness::{BenchResult, Bencher, Harness};
+
 use ema_core::experiments::ExperimentScale;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Parses `--scale {tiny|quick|full}` from CLI args (default: quick).
 ///
@@ -61,11 +67,18 @@ pub fn describe_scale(scale: &ExperimentScale) -> String {
     )
 }
 
-/// Writes a JSON record under `results/<name>.json` (created on demand),
-/// returning the path. Failures are reported but non-fatal — the table
-/// was already printed.
+/// Writes a JSON record under the workspace-root `results/<name>.json`
+/// (created on demand), returning the path. Anchored at the workspace
+/// root rather than the current directory because `cargo run` and
+/// `cargo bench` start binaries in different directories. Failures are
+/// reported but non-fatal — the table was already printed.
 pub fn save_json(name: &str, json: &str) -> Option<PathBuf> {
-    let dir = PathBuf::from("results");
+    // crates/bench -> crates -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the workspace root");
+    let dir = root.join("results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results/: {e}");
         return None;

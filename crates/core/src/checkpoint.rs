@@ -2,21 +2,21 @@
 //! it, so a personalized model trained once can be reused (e.g. the
 //! Experiment-C plumbing, or deployment after a study).
 
+use crate::json::Json;
 use ema_nn::ParamStore;
 use ema_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
 /// Serialisable snapshot of every parameter in a store.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Parameter entries in registration order.
     pub params: Vec<ParamEntry>,
 }
 
 /// One named tensor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParamEntry {
     /// Diagnostic name (e.g. `"lstm.w_ih"`).
     pub name: String,
@@ -93,22 +93,70 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Serialises to pretty JSON.
-    ///
-    /// # Panics
-    /// Never in practice.
+    /// Serialises to pretty JSON: `{"params": [{"name", "dims",
+    /// "data"}, ...]}` with bit-exact f64 round-tripping.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("checkpoint serialises")
+        Json::obj(vec![(
+            "params",
+            Json::Arr(
+                self.params
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("name", Json::Str(p.name.clone())),
+                            (
+                                "dims",
+                                Json::Arr(p.dims.iter().map(|&d| Json::Num(d as f64)).collect()),
+                            ),
+                            (
+                                "data",
+                                Json::Arr(p.data.iter().map(|&v| Json::Num(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+        .pretty()
     }
 
     /// Parses a checkpoint from JSON.
     ///
     /// # Errors
-    /// Returns `io::Error` with `InvalidData` on malformed JSON.
+    /// Returns `io::Error` with `InvalidData` on malformed JSON or a
+    /// wrong shape.
     pub fn from_json(json: &str) -> io::Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        let invalid = |e: crate::json::JsonError| {
+            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+        };
+        let v = Json::parse(json).map_err(invalid)?;
+        let mut params = Vec::new();
+        for entry in v.require("params").map_err(invalid)?.to_arr().map_err(invalid)? {
+            let name = entry
+                .require("name")
+                .and_then(Json::to_str)
+                .map_err(invalid)?
+                .to_string();
+            let dims = entry
+                .require("dims")
+                .and_then(Json::to_arr)
+                .map_err(invalid)?
+                .iter()
+                .map(Json::to_usize)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(invalid)?;
+            let data = entry
+                .require("data")
+                .and_then(Json::to_arr)
+                .map_err(invalid)?
+                .iter()
+                .map(Json::to_f64)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(invalid)?;
+            params.push(ParamEntry { name, dims, data });
+        }
+        Ok(Self { params })
     }
 
     /// Writes the checkpoint to a file.
@@ -165,6 +213,38 @@ mod tests {
         assert_eq!(parsed.params.len(), ckpt.params.len());
         assert_eq!(parsed.params[0].name, ckpt.params[0].name);
         assert_eq!(parsed.params[0].data, ckpt.params[0].data);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact_on_edge_values() {
+        // Hand-built checkpoint carrying every awkward f64 we can emit.
+        let ckpt = Checkpoint {
+            params: vec![ParamEntry {
+                name: "edge.w".into(),
+                dims: vec![2, 3],
+                data: vec![-0.0, 5e-324, 1e308, -1e-308, 0.1 + 0.2, 2f64.powi(53) - 1.0],
+            }],
+        };
+        let parsed = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed.params[0].name, "edge.w");
+        assert_eq!(parsed.params[0].dims, vec![2, 3]);
+        for (a, b) in ckpt.params[0].data.iter().zip(parsed.params[0].data.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a:e} lost bits in JSON round trip");
+        }
+        assert!(parsed.params[0].data[0].is_sign_negative());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_checkpoints() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"params": 3}"#,
+            r#"{"params": [{"name": "w", "dims": [2.5], "data": []}]}"#,
+            r#"{"params": [{"name": "w", "dims": [1]}]}"#,
+        ] {
+            assert!(Checkpoint::from_json(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub const SEQ_LEN: usize = 5;
 /// * `MTGNN (learned, no prior)` — graph learning from scratch;
 /// * `MTGNN (static only)` — graph-learning module disabled;
 /// * `A3TGCN / ASTGCN (CORR)` — for context, each also with its
-/// attention module ablated.
+///   attention module ablated.
 ///
 /// One column: test MSE at Seq5, GDT 20%.
 #[must_use]

@@ -7,18 +7,18 @@
 //! [`Fig3Entry::pct_change`].
 
 use super::ExperimentScale;
+use crate::json::{Json, JsonError};
 use crate::pipeline::{run_cohort, GraphSpec, RunSpec};
 use crate::results::{mean_relative_change_percent, BoxplotStats};
 use ema_graph::sparsify::DensityThreshold;
 use ema_graph::stats::edge_weight_correlation;
 use ema_models::ModelKind;
-use serde::{Deserialize, Serialize};
 
 /// Input length used in Experiment C (sparse graphs, Seq5 — Sec. VI-C).
 pub const SEQ_LEN: usize = 5;
 
 /// One (model, metric) comparison of Fig. 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Entry {
     /// Model name (`A3TGCN`, `ASTGCN` or `MTGNN`).
     pub model: String,
@@ -33,8 +33,36 @@ pub struct Fig3Entry {
     pub pct_change: f64,
 }
 
+impl Fig3Entry {
+    /// JSON encoding mirroring the struct's fields.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("model", Json::Str(self.model.clone())),
+            ("metric", Json::Str(self.metric.clone())),
+            ("static_stats", self.static_stats.to_json_value()),
+            ("learned_stats", self.learned_stats.to_json_value()),
+            ("pct_change", Json::Num(self.pct_change)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json_value`] encoding.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a missing member or wrong type.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            model: v.require("model")?.to_str()?.to_string(),
+            metric: v.require("metric")?.to_str()?.to_string(),
+            static_stats: BoxplotStats::from_json_value(v.require("static_stats")?)?,
+            learned_stats: BoxplotStats::from_json_value(v.require("learned_stats")?)?,
+            pct_change: v.require("pct_change")?.to_f64()?,
+        })
+    }
+}
+
 /// The complete Fig. 3 reproduction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Results {
     /// All (model, metric) comparisons.
     pub entries: Vec<Fig3Entry>,
@@ -64,12 +92,36 @@ impl Fig3Results {
     }
 
     /// Serialises to JSON for EXPERIMENTS.md bookkeeping.
-    ///
-    /// # Panics
-    /// Never in practice.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("results serialise")
+        Json::obj(vec![
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(Fig3Entry::to_json_value).collect()),
+            ),
+            (
+                "mean_graph_correlation",
+                Json::Num(self.mean_graph_correlation),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parses the [`Self::to_json`] encoding.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on malformed JSON or a wrong shape.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(json)?;
+        Ok(Self {
+            entries: v
+                .require("entries")?
+                .to_arr()?
+                .iter()
+                .map(Fig3Entry::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            mean_graph_correlation: v.require("mean_graph_correlation")?.to_f64()?,
+        })
     }
 }
 
@@ -178,7 +230,7 @@ mod tests {
         let rendered = fig.render();
         assert!(rendered.contains("MTGNN / EUC") || rendered.contains("MTGNN / CORR"));
         // JSON round trip.
-        let parsed: Fig3Results = serde_json::from_str(&fig.to_json()).unwrap();
+        let parsed = Fig3Results::from_json(&fig.to_json()).unwrap();
         assert_eq!(parsed.entries.len(), 12);
     }
 }

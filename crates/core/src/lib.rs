@@ -27,6 +27,7 @@ pub mod checkpoint;
 pub mod evaluate;
 pub mod experiments;
 pub mod forecast;
+pub mod json;
 pub mod metrics;
 pub mod pipeline;
 pub mod results;
@@ -34,6 +35,7 @@ pub mod train;
 
 pub use checkpoint::Checkpoint;
 pub use forecast::{horizon_mse, iterative_forecast};
+pub use json::{Json, JsonError};
 pub use metrics::{compute_metrics, evaluate_metrics, ForecastMetrics};
 pub use pipeline::{graph_for_individual, run_individual, GraphSpec, IndividualOutcome, RunSpec};
 pub use results::{BoxplotStats, CellStat, ResultTable};

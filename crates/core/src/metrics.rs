@@ -1,14 +1,14 @@
 //! Forecast-quality metrics beyond the paper's MSE: MAE, RMSE and R²,
 //! plus a combined per-individual report.
 
+use crate::json::{Json, JsonError};
 use crate::train::predict_all;
 use ema_data::WindowedData;
 use ema_models::Forecaster;
 use ema_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// All metrics for one (model, individual) evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForecastMetrics {
     /// Mean squared error (the paper's Eq. (1)).
     pub mse: f64,
@@ -51,6 +51,32 @@ pub fn compute_metrics(preds: &Tensor, targets: &Tensor) -> ForecastMetrics {
 pub fn evaluate_metrics(model: &dyn Forecaster, windows: &WindowedData) -> ForecastMetrics {
     let preds = predict_all(model, windows, 0);
     compute_metrics(&preds, &windows.targets_matrix())
+}
+
+impl ForecastMetrics {
+    /// JSON encoding with one member per metric.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("mse", Json::Num(self.mse)),
+            ("rmse", Json::Num(self.rmse)),
+            ("mae", Json::Num(self.mae)),
+            ("r2", Json::Num(self.r2)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json_value`] encoding.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a missing member or wrong type.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            mse: v.require("mse")?.to_f64()?,
+            rmse: v.require("rmse")?.to_f64()?,
+            mae: v.require("mae")?.to_f64()?,
+            r2: v.require("r2")?.to_f64()?,
+        })
+    }
 }
 
 impl std::fmt::Display for ForecastMetrics {
@@ -105,6 +131,23 @@ mod tests {
         let m = compute_metrics(&preds, &targets);
         assert_eq!(m.r2, 0.0);
         assert_eq!(m.mae, 2.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = ForecastMetrics {
+            mse: 0.5,
+            rmse: 0.5f64.sqrt(),
+            mae: 0.4,
+            r2: -0.0,
+        };
+        let back = ForecastMetrics::from_json_value(
+            &crate::json::Json::parse(&m.to_json_value().pretty()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.rmse.to_bits(), m.rmse.to_bits());
+        assert!(back.r2.is_sign_negative());
     }
 
     #[test]

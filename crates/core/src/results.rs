@@ -1,11 +1,11 @@
 //! Result aggregation: mean(std) cells, rendered tables and boxplot
 //! statistics for the figure reproduction.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 use std::fmt;
 
 /// A table cell in the paper's `mean(std)` notation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellStat {
     /// Mean across individuals.
     pub mean: f64,
@@ -37,10 +37,32 @@ impl fmt::Display for CellStat {
     }
 }
 
+impl CellStat {
+    /// JSON encoding: `{"mean": m, "std": s}`.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::Num(self.mean)),
+            ("std", Json::Num(self.std)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json_value`] encoding.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a missing member or wrong type.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            mean: v.require("mean")?.to_f64()?,
+            std: v.require("std")?.to_f64()?,
+        })
+    }
+}
+
 /// A rendered results table with row labels and named columns,
 /// serialisable so experiment runs can be recorded alongside
 /// EXPERIMENTS.md.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResultTable {
     /// Table caption.
     pub title: String,
@@ -116,19 +138,80 @@ impl ResultTable {
         out
     }
 
-    /// Serialises the table to JSON.
-    ///
-    /// # Panics
-    /// Never in practice (the structure is always serialisable).
+    /// JSON encoding: `{"title": ..., "columns": [...], "rows":
+    /// [[label, [cells...]], ...]}` (rows as two-element arrays, the
+    /// same layout the previous serde tuple encoding produced).
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(label, cells)| {
+                            Json::Arr(vec![
+                                Json::Str(label.clone()),
+                                Json::Arr(cells.iter().map(CellStat::to_json_value).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialises the table to pretty JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        self.to_json_value().pretty()
+    }
+
+    /// Parses a table from its [`Self::to_json`] encoding.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on malformed JSON or a wrong shape.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(json)?;
+        let columns = v
+            .require("columns")?
+            .to_arr()?
+            .iter()
+            .map(|c| c.to_str().map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut rows = Vec::new();
+        for row in v.require("rows")?.to_arr()? {
+            let pair = row.to_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError {
+                    line: 0,
+                    col: 0,
+                    msg: format!("table row must be [label, cells], got {} items", pair.len()),
+                });
+            }
+            let cells = pair[1]
+                .to_arr()?
+                .iter()
+                .map(CellStat::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            rows.push((pair[0].to_str()?.to_string(), cells));
+        }
+        Ok(Self {
+            title: v.require("title")?.to_str()?.to_string(),
+            columns,
+            rows,
+        })
     }
 }
 
 /// Five-number summary plus mean, for reproducing Fig. 3's boxplots as
 /// text/CSV series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxplotStats {
     /// Minimum value.
     pub min: f64,
@@ -170,6 +253,36 @@ impl BoxplotStats {
             max: sorted[sorted.len() - 1],
             mean: samples.iter().sum::<f64>() / samples.len() as f64,
         }
+    }
+}
+
+impl BoxplotStats {
+    /// JSON encoding with one member per summary statistic.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("min", Json::Num(self.min)),
+            ("q1", Json::Num(self.q1)),
+            ("median", Json::Num(self.median)),
+            ("q3", Json::Num(self.q3)),
+            ("max", Json::Num(self.max)),
+            ("mean", Json::Num(self.mean)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json_value`] encoding.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on a missing member or wrong type.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            min: v.require("min")?.to_f64()?,
+            q1: v.require("q1")?.to_f64()?,
+            median: v.require("median")?.to_f64()?,
+            q3: v.require("q3")?.to_f64()?,
+            max: v.require("max")?.to_f64()?,
+            mean: v.require("mean")?.to_f64()?,
+        })
     }
 }
 
@@ -232,10 +345,42 @@ mod tests {
             ],
         );
         let json = t.to_json();
-        let parsed: ResultTable = serde_json::from_str(&json).unwrap();
+        let parsed = ResultTable::from_json(&json).unwrap();
         assert_eq!(parsed.cell("LSTM", "Seq2").unwrap().mean, 0.9);
         assert!(parsed.cell("LSTM", "Seq9").is_none());
         assert!(t.render().contains("0.900(0.400)"));
+    }
+
+    #[test]
+    fn table_serialization_is_stable_and_f64_exact() {
+        // Edge-case cell values must survive the round trip bit-exactly,
+        // and serialising twice must give identical bytes (the
+        // determinism guard relies on this).
+        let mut t = ResultTable::new("Edges", vec!["C".into()]);
+        for (label, mean, std) in [
+            ("neg-zero", -0.0, 0.0),
+            ("tiny", 5e-324, 1e-308),
+            ("huge", 1.797_693_134_862_315_7e308, -1e308),
+            ("ugly", 0.1 + 0.2, 1.0 / 3.0),
+        ] {
+            t.push_row(label, vec![CellStat { mean, std }]);
+        }
+        let json = t.to_json();
+        assert_eq!(json, t.to_json(), "serialization is not deterministic");
+        let parsed = ResultTable::from_json(&json).unwrap();
+        for ((_, orig), (_, back)) in t.rows.iter().zip(parsed.rows.iter()) {
+            assert_eq!(orig[0].mean.to_bits(), back[0].mean.to_bits());
+            assert_eq!(orig[0].std.to_bits(), back[0].std.to_bits());
+        }
+        // -0.0 specifically keeps its sign through the pipeline.
+        assert!(parsed.rows[0].1[0].mean.is_sign_negative());
+    }
+
+    #[test]
+    fn boxplot_json_round_trip() {
+        let s = BoxplotStats::from_samples(&[0.3, 1.7, -2.0, 0.9, 4.4]);
+        let back = BoxplotStats::from_json_value(&s.to_json_value()).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

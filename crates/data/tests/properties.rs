@@ -1,28 +1,25 @@
 //! Property-based tests of preprocessing, windowing and CSV IO.
 
+use ema_check::{gen, prop_assert, prop_assert_eq, prop_assume, prop_tests};
 use ema_data::io::{from_csv, to_csv};
 use ema_data::preprocess::z_normalize;
 use ema_data::{make_test_windows, make_windows, split_train_test};
-use ema_tensor::Tensor;
-use proptest::prelude::*;
+use ema_tensor::{Rng64, Tensor};
 
-fn mts() -> impl Strategy<Value = Tensor> {
-    (8usize..40, 2usize..6).prop_flat_map(|(t, v)| {
-        prop::collection::vec(-100.0f64..100.0, t * v)
-            .prop_map(move |d| Tensor::from_vec(&[t, v], d).unwrap())
-    })
+fn mts(rng: &mut Rng64) -> Tensor {
+    let t = gen::usize_in(rng, 8, 40);
+    let v = gen::usize_in(rng, 2, 6);
+    Tensor::from_vec(&[t, v], gen::vec_f64_len(rng, -100.0, 100.0, t * v)).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn z_normalize_is_idempotent(data in mts()) {
+prop_tests! {
+    fn z_normalize_is_idempotent(data in mts) {
         let z1 = z_normalize(&data);
         let z2 = z_normalize(&z1);
         ema_tensor::assert_tensors_close(&z1, &z2, 1e-9);
     }
 
-    #[test]
-    fn z_normalize_is_shift_scale_invariant(data in mts()) {
+    fn z_normalize_is_shift_scale_invariant(data in mts) {
         let shifted = data.map(|v| 4.0 * v - 11.0);
         ema_tensor::assert_tensors_close(
             &z_normalize(&data),
@@ -31,8 +28,9 @@ proptest! {
         );
     }
 
-    #[test]
-    fn split_preserves_rows_in_order(data in mts(), frac in 0.2f64..0.8) {
+    fn split_preserves_rows_in_order(
+        (data, frac) in |rng: &mut Rng64| (mts(rng), gen::f64_in(rng, 0.2, 0.8)),
+    ) {
         let t = data.dims()[0];
         let (train, test) = split_train_test(&data, frac);
         prop_assert_eq!(train.dims()[0] + test.dims()[0], t);
@@ -40,8 +38,9 @@ proptest! {
         ema_tensor::assert_tensors_close(&train.vcat(&test), &data, 0.0);
     }
 
-    #[test]
-    fn window_count_and_targets(data in mts(), seq in 1usize..5) {
+    fn window_count_and_targets(
+        (data, seq) in |rng: &mut Rng64| (mts(rng), gen::usize_in(rng, 1, 5)),
+    ) {
         let t = data.dims()[0];
         prop_assume!(t > seq);
         let w = make_windows(&data, seq);
@@ -58,8 +57,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn test_windows_cover_all_test_rows(data in mts(), seq in 1usize..4) {
+    fn test_windows_cover_all_test_rows(
+        (data, seq) in |rng: &mut Rng64| (mts(rng), gen::usize_in(rng, 1, 4)),
+    ) {
         let (train, test) = split_train_test(&data, 0.7);
         prop_assume!(train.dims()[0] >= seq);
         let w = make_test_windows(&train, &test, seq);
@@ -70,8 +70,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn csv_round_trip_is_lossless(data in mts()) {
+    fn csv_round_trip_is_lossless(data in mts) {
         let names: Vec<String> = (0..data.dims()[1]).map(|i| format!("v{i}")).collect();
         let csv = to_csv(&data, &names);
         let (parsed_names, parsed) = from_csv(&csv).unwrap();
@@ -79,8 +78,11 @@ proptest! {
         ema_tensor::assert_tensors_close(&parsed, &data, 0.0);
     }
 
-    #[test]
-    fn csv_parser_rejects_corruption(data in mts(), row in 0usize..5, col in 0usize..3) {
+    fn csv_parser_rejects_corruption(
+        (data, row, col) in |rng: &mut Rng64| {
+            (mts(rng), gen::usize_in(rng, 0, 5), gen::usize_in(rng, 0, 3))
+        },
+    ) {
         let names: Vec<String> = (0..data.dims()[1]).map(|i| format!("v{i}")).collect();
         let csv = to_csv(&data, &names);
         // Corrupt one numeric cell with garbage.

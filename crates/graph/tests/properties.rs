@@ -1,5 +1,6 @@
 //! Property-based tests of graph transformations.
 
+use ema_check::{gen, prop_assert, prop_assert_eq, prop_tests};
 use ema_graph::chebyshev::chebyshev_from_adjacency;
 use ema_graph::normalize::{
     gcn_norm, laplacian, normalized_laplacian, row_norm_self_loops, spectral_radius,
@@ -9,22 +10,21 @@ use ema_graph::sparsify::{sparsify_to_density, top_k_per_row};
 use ema_graph::stats::edge_weight_correlation;
 use ema_graph::AdjacencyMatrix;
 use ema_tensor::{Rng64, Tensor};
-use proptest::prelude::*;
 
-fn graph() -> impl Strategy<Value = AdjacencyMatrix> {
-    (3usize..10, 0u64..10_000).prop_map(|(n, seed)| {
-        let mut rng = Rng64::seed_from(seed);
-        AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut rng))
-    })
+fn graph(rng: &mut Rng64) -> AdjacencyMatrix {
+    let n = gen::usize_in(rng, 3, 10);
+    let mut inner = Rng64::seed_from(gen::u64_below(10_000)(rng));
+    AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut inner))
 }
 
-fn symmetric_graph() -> impl Strategy<Value = AdjacencyMatrix> {
-    graph().prop_map(|g| g.symmetrized())
+fn symmetric_graph(rng: &mut Rng64) -> AdjacencyMatrix {
+    graph(rng).symmetrized()
 }
 
-proptest! {
-    #[test]
-    fn sparsify_edge_counts_never_exceed_target(g in graph(), frac in 0.05f64..1.0) {
+prop_tests! {
+    fn sparsify_edge_counts_never_exceed_target(
+        (g, frac) in |rng: &mut Rng64| (graph(rng), gen::f64_in(rng, 0.05, 1.0)),
+    ) {
         let n = g.num_nodes();
         let keep = ((n * (n - 1)) as f64 * frac).round().max(1.0) as usize;
         let s = sparsify_to_density(&g, frac);
@@ -32,8 +32,7 @@ proptest! {
         prop_assert!(s.num_edges() <= g.num_edges());
     }
 
-    #[test]
-    fn sparser_gdt_is_nested_in_denser(g in graph()) {
+    fn sparser_gdt_is_nested_in_denser(g in graph) {
         // Every edge kept at 20% must also be kept at 40%.
         let s20 = sparsify_to_density(&g, 0.2);
         let s40 = sparsify_to_density(&g, 0.4);
@@ -45,8 +44,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn sparsify_keeps_heaviest_edges(g in graph()) {
+    fn sparsify_keeps_heaviest_edges(g in graph) {
         let s = sparsify_to_density(&g, 0.25);
         let kept_min = s
             .edges()
@@ -62,8 +60,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn top_k_out_degree_bound(g in graph(), k in 1usize..5) {
+    fn top_k_out_degree_bound(
+        (g, k) in |rng: &mut Rng64| (graph(rng), gen::usize_in(rng, 1, 5)),
+    ) {
         let t = top_k_per_row(&g, k);
         for i in 0..t.num_nodes() {
             let deg = (0..t.num_nodes()).filter(|&j| t.weight(i, j) > 0.0).count();
@@ -71,16 +70,14 @@ proptest! {
         }
     }
 
-    #[test]
-    fn gcn_norm_is_spectrally_bounded(g in symmetric_graph()) {
+    fn gcn_norm_is_spectrally_bounded(g in symmetric_graph) {
         let a_hat = gcn_norm(&g);
         prop_assert!(a_hat.all_finite());
         let r = spectral_radius(&a_hat, 200);
         prop_assert!(r <= 1.0 + 1e-6, "radius {r}");
     }
 
-    #[test]
-    fn row_norm_self_loops_is_stochastic(g in graph()) {
+    fn row_norm_self_loops_is_stochastic(g in graph) {
         let r = row_norm_self_loops(&g);
         for i in 0..g.num_nodes() {
             prop_assert!((r.row(i).sum() - 1.0).abs() < 1e-9);
@@ -88,23 +85,22 @@ proptest! {
         prop_assert!(r.data().iter().all(|&v| v >= 0.0));
     }
 
-    #[test]
-    fn laplacian_rows_sum_to_zero(g in graph()) {
+    fn laplacian_rows_sum_to_zero(g in graph) {
         let l = laplacian(&g);
         for i in 0..g.num_nodes() {
             prop_assert!(l.row(i).sum().abs() < 1e-9);
         }
     }
 
-    #[test]
-    fn normalized_laplacian_spectrum_in_zero_two(g in symmetric_graph()) {
+    fn normalized_laplacian_spectrum_in_zero_two(g in symmetric_graph) {
         let l = normalized_laplacian(&g);
         let r = spectral_radius(&l, 200);
         prop_assert!(r <= 2.0 + 1e-6, "λmax {r}");
     }
 
-    #[test]
-    fn chebyshev_stack_stays_bounded(g in symmetric_graph(), k in 1usize..5) {
+    fn chebyshev_stack_stays_bounded(
+        (g, k) in |rng: &mut Rng64| (symmetric_graph(rng), gen::usize_in(rng, 1, 5)),
+    ) {
         let ts = chebyshev_from_adjacency(&g, k);
         prop_assert_eq!(ts.len(), k);
         for t in &ts {
@@ -114,8 +110,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn random_graph_edge_count_is_exact(n in 3usize..10, seed in 0u64..1000) {
+    fn random_graph_edge_count_is_exact(
+        (n, seed) in |rng: &mut Rng64| {
+            (gen::usize_in(rng, 3, 10), gen::u64_below(1000)(rng))
+        },
+    ) {
         let possible = n * (n - 1);
         let mut rng = Rng64::seed_from(seed);
         for edges in [0, 1, possible / 2, possible] {
@@ -124,16 +123,16 @@ proptest! {
         }
     }
 
-    #[test]
     fn correlation_is_symmetric_in_arguments(
-        (a, b) in (3usize..10, 0u64..10_000, 0u64..10_000).prop_map(|(n, s1, s2)| {
-            let mut r1 = Rng64::seed_from(s1);
-            let mut r2 = Rng64::seed_from(s2 ^ 0xdead_beef);
+        (a, b) in |rng: &mut Rng64| {
+            let n = gen::usize_in(rng, 3, 10);
+            let mut r1 = Rng64::seed_from(gen::u64_below(10_000)(rng));
+            let mut r2 = Rng64::seed_from(gen::u64_below(10_000)(rng) ^ 0xdead_beef);
             (
                 AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut r1)),
                 AdjacencyMatrix::new(Tensor::rand_uniform(&[n, n], 0.0, 1.0, &mut r2)),
             )
-        })
+        },
     ) {
         let ab = edge_weight_correlation(&a, &b);
         let ba = edge_weight_correlation(&b, &a);

@@ -1,17 +1,17 @@
 //! Property-based tests of layers and optimizers.
 
 use ema_autodiff::Tape;
+use ema_check::{gen, prop_assert, prop_assert_eq, prop_tests};
 use ema_nn::{Adam, GruCell, Linear, LstmCell, Optimizer, OptimizerConfig, ParamStore, Sgd};
 use ema_tensor::{Rng64, Tensor};
-use proptest::prelude::*;
 
-proptest! {
+prop_tests! {
     /// Adam drives a random convex quadratic `‖w − target‖²` to its
     /// minimum from any start.
-    #[test]
     fn adam_minimises_random_quadratics(
-        target in prop::collection::vec(-5.0f64..5.0, 1..6),
-        seed in 0u64..500,
+        (target, seed) in |rng: &mut Rng64| {
+            (gen::vec_f64(rng, -5.0, 5.0, 1, 6), gen::u64_below(500)(rng))
+        },
     ) {
         let n = target.len();
         let mut store = ParamStore::new();
@@ -33,8 +33,11 @@ proptest! {
 
     /// SGD update magnitude is bounded by lr · clip regardless of the
     /// gradient scale.
-    #[test]
-    fn sgd_clipping_bounds_updates(scale in 1.0f64..1e6, seed in 0u64..100) {
+    fn sgd_clipping_bounds_updates(
+        (scale, seed) in |rng: &mut Rng64| {
+            (gen::f64_in(rng, 1.0, 1e6), gen::u64_below(100)(rng))
+        },
+    ) {
         let mut store = ParamStore::new();
         let mut rng = Rng64::seed_from(seed);
         let w = store.register("w", Tensor::rand_normal(&[3], 0.0, 1.0, &mut rng));
@@ -55,11 +58,14 @@ proptest! {
 
     /// GRU and LSTM hidden states stay in [−1, 1] for any input and any
     /// number of steps when starting from zero state.
-    #[test]
     fn recurrent_states_stay_bounded(
-        seed in 0u64..200,
-        steps in 1usize..12,
-        input_scale in 0.1f64..10.0,
+        (seed, steps, input_scale) in |rng: &mut Rng64| {
+            (
+                gen::u64_below(200)(rng),
+                gen::usize_in(rng, 1, 12),
+                gen::f64_in(rng, 0.1, 10.0),
+            )
+        },
     ) {
         let mut store = ParamStore::new();
         let mut rng = Rng64::seed_from(seed);
@@ -83,8 +89,15 @@ proptest! {
 
     /// A linear layer is, in fact, linear: f(αx + βy) = αf(x) + βf(y)
     /// once the bias is removed.
-    #[test]
-    fn linear_layer_is_linear(seed in 0u64..200, alpha in -2.0f64..2.0, beta in -2.0f64..2.0) {
+    fn linear_layer_is_linear(
+        (seed, alpha, beta) in |rng: &mut Rng64| {
+            (
+                gen::u64_below(200)(rng),
+                gen::f64_in(rng, -2.0, 2.0),
+                gen::f64_in(rng, -2.0, 2.0),
+            )
+        },
+    ) {
         let mut store = ParamStore::new();
         let mut rng = Rng64::seed_from(seed);
         let layer = Linear::new(&mut store, "l", 3, 4, &mut rng);
@@ -108,8 +121,7 @@ proptest! {
 
     /// Optimizer steps are deterministic: two identical runs stay
     /// bit-identical.
-    #[test]
-    fn optimisation_is_deterministic(seed in 0u64..100) {
+    fn optimisation_is_deterministic(seed in gen::u64_below(100)) {
         let run = || {
             let mut store = ParamStore::new();
             let mut rng = Rng64::seed_from(seed);

@@ -1,42 +1,44 @@
 //! Property-based tests of the similarity metrics and graph builders.
 
+use ema_check::{gen, prop_assert, prop_assert_eq, prop_tests};
 use ema_similarity::correlation::{cross_correlation, pearson_correlation};
 use ema_similarity::cosine::cosine_similarity;
 use ema_similarity::dtw::{dtw_distance, dtw_distance_banded};
 use ema_similarity::euclidean::{euclidean_distance, gaussian_affinity, pairwise_distances};
 use ema_similarity::knn::knn_graph;
 use ema_similarity::{build_graph, GraphMetric};
-use ema_tensor::Tensor;
-use proptest::prelude::*;
+use ema_tensor::{Rng64, Tensor};
 
-fn series(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, n..=n)
+fn series(n: usize) -> impl Fn(&mut Rng64) -> Vec<f64> {
+    move |rng| gen::vec_f64_len(rng, -10.0, 10.0, n)
 }
 
-fn mts() -> impl Strategy<Value = Tensor> {
-    (10usize..30, 3usize..8).prop_flat_map(|(t, v)| {
-        prop::collection::vec(-5.0f64..5.0, t * v)
-            .prop_map(move |d| Tensor::from_vec(&[t, v], d).unwrap())
-    })
+fn mts(rng: &mut Rng64) -> Tensor {
+    let t = gen::usize_in(rng, 10, 30);
+    let v = gen::usize_in(rng, 3, 8);
+    Tensor::from_vec(&[t, v], gen::vec_f64_len(rng, -5.0, 5.0, t * v)).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn dtw_identity_and_symmetry(x in series(20), y in series(20)) {
+prop_tests! {
+    fn dtw_identity_and_symmetry(
+        (x, y) in |rng: &mut Rng64| (series(20)(rng), series(20)(rng)),
+    ) {
         prop_assert_eq!(dtw_distance(&x, &x), 0.0);
         prop_assert_eq!(dtw_distance(&x, &y), dtw_distance(&y, &x));
         prop_assert!(dtw_distance(&x, &y) >= 0.0);
     }
 
-    #[test]
-    fn dtw_lower_bounds_pointwise_cost(x in series(15), y in series(15)) {
+    fn dtw_lower_bounds_pointwise_cost(
+        (x, y) in |rng: &mut Rng64| (series(15)(rng), series(15)(rng)),
+    ) {
         // DTW relaxes alignment, so it never exceeds the lockstep cost.
         let lockstep: f64 = x.iter().zip(y.iter()).map(|(a, b)| (a - b).abs()).sum();
         prop_assert!(dtw_distance(&x, &y) <= lockstep + 1e-9);
     }
 
-    #[test]
-    fn dtw_band_is_monotone(x in series(20), y in series(20)) {
+    fn dtw_band_is_monotone(
+        (x, y) in |rng: &mut Rng64| (series(20)(rng), series(20)(rng)),
+    ) {
         // Wider bands can only lower (or keep) the distance.
         let d2 = dtw_distance_banded(&x, &y, 2);
         let d5 = dtw_distance_banded(&x, &y, 5);
@@ -45,16 +47,18 @@ proptest! {
         prop_assert!(dfull <= d5 + 1e-9);
     }
 
-    #[test]
-    fn euclidean_triangle_inequality(x in series(10), y in series(10), z in series(10)) {
+    fn euclidean_triangle_inequality(
+        (x, y, z) in |rng: &mut Rng64| (series(10)(rng), series(10)(rng), series(10)(rng)),
+    ) {
         let xy = euclidean_distance(&x, &y);
         let yz = euclidean_distance(&y, &z);
         let xz = euclidean_distance(&x, &z);
         prop_assert!(xz <= xy + yz + 1e-9);
     }
 
-    #[test]
-    fn correlation_is_bounded_and_scale_invariant(x in series(12), y in series(12)) {
+    fn correlation_is_bounded_and_scale_invariant(
+        (x, y) in |rng: &mut Rng64| (series(12)(rng), series(12)(rng)),
+    ) {
         let r = pearson_correlation(&x, &y);
         prop_assert!(r.abs() <= 1.0 + 1e-12);
         // Positive affine transforms leave correlation unchanged.
@@ -63,26 +67,26 @@ proptest! {
         prop_assert!((r - r2).abs() < 1e-7, "{r} vs {r2}");
     }
 
-    #[test]
-    fn cross_correlation_dominates_plain(x in series(30), y in series(30)) {
+    fn cross_correlation_dominates_plain(
+        (x, y) in |rng: &mut Rng64| (series(30)(rng), series(30)(rng)),
+    ) {
         let plain = pearson_correlation(&x, &y).abs();
         let lagged = cross_correlation(&x, &y, 3).abs();
         prop_assert!(lagged >= plain - 1e-12);
     }
 
-    #[test]
-    fn cosine_bounded(x in series(8), y in series(8)) {
+    fn cosine_bounded(
+        (x, y) in |rng: &mut Rng64| (series(8)(rng), series(8)(rng)),
+    ) {
         prop_assert!(cosine_similarity(&x, &y).abs() <= 1.0 + 1e-12);
     }
 
-    #[test]
-    fn affinities_live_in_unit_interval(data in mts()) {
+    fn affinities_live_in_unit_interval(data in mts) {
         let a = gaussian_affinity(&pairwise_distances(&data));
         prop_assert!(a.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
-    #[test]
-    fn knn_union_symmetry_and_degree(data in mts()) {
+    fn knn_union_symmetry_and_degree(data in mts) {
         let v = data.dims()[1];
         let k = 2.min(v - 1).max(1);
         let g = knn_graph(&data, k);
@@ -93,8 +97,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn every_builder_metric_is_well_formed(data in mts()) {
+    fn every_builder_metric_is_well_formed(data in mts) {
         for metric in [
             GraphMetric::Euclidean,
             GraphMetric::Dtw,

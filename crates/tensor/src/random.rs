@@ -1,20 +1,30 @@
 //! Deterministic random tensor initialisation.
 //!
-//! A thin wrapper over a seeded PRNG plus Box–Muller normal sampling so
-//! the workspace does not need `rand_distr`. Every experiment in the
-//! paper reproduction is seeded, which makes tables exactly reproducible.
+//! A fully in-house seeded PRNG (xoshiro256++ with splitmix64 seeding)
+//! plus Box–Muller normal sampling, so the workspace needs no external
+//! randomness crate at all. Every experiment in the paper reproduction
+//! is seeded, which makes tables exactly reproducible.
 
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Expands a 64-bit seed into well-mixed state words (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A seeded random source for tensor initialisation and data generation.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds normal sampling via the
-/// Box–Muller transform.
+/// The core generator is xoshiro256++ — 256 bits of state, period
+/// 2^256 − 1, no external dependencies — seeded through splitmix64 so
+/// that even adjacent integer seeds give uncorrelated streams. Normal
+/// sampling uses the Box–Muller transform.
 #[derive(Debug, Clone)]
 pub struct Rng64 {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second normal sample from the last Box–Muller pair.
     spare: Option<f64>,
 }
@@ -23,15 +33,38 @@ impl Rng64 {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             spare: None,
         }
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with full 53-bit mantissa resolution.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -49,7 +82,16 @@ impl Rng64 {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply trick with a rejection loop to
+        // remove the (already tiny) modulo bias entirely.
+        let n = n as u64;
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(n);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as usize;
+            }
+        }
     }
 
     /// Standard normal sample via Box–Muller.
@@ -97,7 +139,7 @@ impl Rng64 {
     /// Splits off an independent generator seeded from this one, so
     /// per-individual streams do not interact.
     pub fn fork(&mut self) -> Rng64 {
-        Rng64::seed_from(self.inner.gen::<u64>())
+        Rng64::seed_from(self.next_u64())
     }
 }
 
@@ -144,6 +186,24 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_stream_is_pinned() {
+        // Golden values: the exact xoshiro256++ stream for seed 42. If
+        // this test fails, every seeded experiment in the workspace has
+        // silently changed — treat as a breaking change.
+        let mut rng = Rng64::seed_from(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xd076_4d4f_4476_689f,
+                0x519e_4174_576f_3791,
+                0xfbe0_7cfb_0c24_ed8c,
+                0xb37d_9f60_0cd8_35b8,
+            ]
+        );
+    }
 
     #[test]
     fn seeding_is_deterministic() {

@@ -1,98 +1,87 @@
-//! Property-based tests for tensor algebra laws.
+//! Property-based tests for tensor algebra laws, on the in-house
+//! `ema-check` harness (seeded, deterministic, 256 cases per property).
 
+use ema_check::{gen, prop_assert, prop_tests};
 use ema_tensor::{assert_tensors_close, Rng64, Tensor};
-use proptest::prelude::*;
 
-/// Strategy: a rank-1 tensor with 1..=32 finite elements.
-fn vec_tensor() -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-1e3f64..1e3, 1..32).prop_map(Tensor::from_vec1)
+/// Generator: a rank-1 tensor with 1..=31 finite elements.
+fn vec_tensor(rng: &mut Rng64) -> Tensor {
+    Tensor::from_vec1(gen::vec_f64(rng, -1e3, 1e3, 1, 32))
 }
 
-/// Strategy: two same-length rank-1 tensors.
-fn vec_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
-    (1usize..32).prop_flat_map(|n| {
-        (
-            prop::collection::vec(-1e3f64..1e3, n).prop_map(Tensor::from_vec1),
-            prop::collection::vec(-1e3f64..1e3, n).prop_map(Tensor::from_vec1),
-        )
-    })
+/// Generator: two same-length rank-1 tensors.
+fn vec_pair(rng: &mut Rng64) -> (Tensor, Tensor) {
+    let n = gen::usize_in(rng, 1, 32);
+    (
+        Tensor::from_vec1(gen::vec_f64_len(rng, -1e3, 1e3, n)),
+        Tensor::from_vec1(gen::vec_f64_len(rng, -1e3, 1e3, n)),
+    )
 }
 
-/// Strategy: matrix dims plus flat data.
-fn matrix(max: usize) -> impl Strategy<Value = Tensor> {
-    (1usize..max, 1usize..max).prop_flat_map(|(m, n)| {
-        prop::collection::vec(-1e2f64..1e2, m * n)
-            .prop_map(move |d| Tensor::from_vec(&[m, n], d).unwrap())
-    })
+/// Generator: a matrix with dims in `[1, max)`.
+fn matrix(max: usize) -> impl Fn(&mut Rng64) -> Tensor {
+    move |rng| {
+        let m = gen::usize_in(rng, 1, max);
+        let n = gen::usize_in(rng, 1, max);
+        Tensor::from_vec(&[m, n], gen::vec_f64_len(rng, -1e2, 1e2, m * n)).unwrap()
+    }
 }
 
-proptest! {
-    #[test]
-    fn add_commutes((a, b) in vec_pair()) {
+prop_tests! {
+    fn add_commutes((a, b) in vec_pair) {
         assert_tensors_close(&a.add(&b), &b.add(&a), 1e-9);
     }
 
-    #[test]
-    fn mul_commutes((a, b) in vec_pair()) {
+    fn mul_commutes((a, b) in vec_pair) {
         assert_tensors_close(&a.mul(&b), &b.mul(&a), 1e-9);
     }
 
-    #[test]
-    fn add_identity(a in vec_tensor()) {
+    fn add_identity(a in vec_tensor) {
         let z = Tensor::zeros(a.dims());
         assert_tensors_close(&a.add(&z), &a, 0.0);
     }
 
-    #[test]
-    fn sub_self_is_zero(a in vec_tensor()) {
+    fn sub_self_is_zero(a in vec_tensor) {
         let z = Tensor::zeros(a.dims());
         assert_tensors_close(&a.sub(&a), &z, 0.0);
     }
 
-    #[test]
-    fn scale_distributes((a, b) in vec_pair()) {
+    fn scale_distributes((a, b) in vec_pair) {
         let s = 3.5;
         assert_tensors_close(&a.add(&b).scale(s), &a.scale(s).add(&b.scale(s)), 1e-6);
     }
 
-    #[test]
-    fn double_negation(a in vec_tensor()) {
+    fn double_negation(a in vec_tensor) {
         assert_tensors_close(&a.neg().neg(), &a, 0.0);
     }
 
-    #[test]
     fn transpose_involution(m in matrix(12)) {
         assert_tensors_close(&m.transpose().transpose(), &m, 0.0);
     }
 
-    #[test]
     fn matmul_identity(m in matrix(12)) {
         let n = m.dims()[1];
         assert_tensors_close(&m.matmul(&Tensor::eye(n)), &m, 1e-9);
     }
 
-    #[test]
     fn matmul_transpose_rule(m in matrix(8)) {
         // (A Aᵀ)ᵀ == A Aᵀ  (product with own transpose is symmetric)
         let p = m.matmul(&m.transpose());
         assert_tensors_close(&p.transpose(), &p, 1e-6);
     }
 
-    #[test]
-    fn dot_cauchy_schwarz((a, b) in vec_pair()) {
+    fn dot_cauchy_schwarz((a, b) in vec_pair) {
         let lhs = a.dot(&b).abs();
         let rhs = a.norm() * b.norm();
         prop_assert!(lhs <= rhs + 1e-6 * rhs.max(1.0));
     }
 
-    #[test]
     fn sum_axis_total_matches(m in matrix(10)) {
         let total = m.sum();
         prop_assert!((m.sum_axis(0).sum() - total).abs() < 1e-6);
         prop_assert!((m.sum_axis(1).sum() - total).abs() < 1e-6);
     }
 
-    #[test]
     fn softmax_rows_normalised(m in matrix(10)) {
         let s = m.softmax_last();
         for r in 0..s.dims()[0] {
@@ -102,21 +91,18 @@ proptest! {
         prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
-    #[test]
-    fn mse_nonnegative_and_symmetric((a, b) in vec_pair()) {
+    fn mse_nonnegative_and_symmetric((a, b) in vec_pair) {
         let ab = a.mse(&b);
         let ba = b.mse(&a);
         prop_assert!(ab >= 0.0);
         prop_assert!((ab - ba).abs() < 1e-9 * ab.max(1.0));
     }
 
-    #[test]
     fn reshape_preserves_sum(m in matrix(10)) {
         let flat = m.flatten();
         prop_assert!((flat.sum() - m.sum()).abs() < 1e-9);
     }
 
-    #[test]
     fn hcat_slice_round_trip(m in matrix(8)) {
         let n = m.dims()[1];
         if n >= 2 {
@@ -127,14 +113,12 @@ proptest! {
         }
     }
 
-    #[test]
-    fn clamp_is_bounded(a in vec_tensor()) {
+    fn clamp_is_bounded(a in vec_tensor) {
         let c = a.clamp(-1.0, 1.0);
         prop_assert!(c.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
     }
 
-    #[test]
-    fn rand_uniform_within_bounds(seed in 0u64..1000) {
+    fn rand_uniform_within_bounds(seed in gen::u64_below(1000)) {
         let mut rng = Rng64::seed_from(seed);
         let t = Tensor::rand_uniform(&[4, 4], -2.0, 3.0, &mut rng);
         prop_assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));

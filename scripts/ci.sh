@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Offline CI for the ema-gnn workspace.
+#
+# The workspace has zero external dependencies (path-only crates), so
+# every step below runs with the network disabled. `--offline` makes
+# cargo fail loudly if a registry dependency ever sneaks back in.
+#
+# Usage: scripts/ci.sh [--with-bench]
+#   --with-bench  also run the microbenchmark suites (fast settings)
+#                 to validate the bench harness end to end.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WITH_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --with-bench) WITH_BENCH=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo build (all targets)"
+cargo build --offline --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$WITH_BENCH" = 1 ]; then
+  echo "==> cargo bench (fast settings)"
+  EMA_BENCH_SAMPLES=3 EMA_BENCH_SAMPLE_MS=2 cargo bench --offline --workspace
+fi
+
+echo "==> CI green"

@@ -36,27 +36,37 @@ fn csv_round_trip_preserves_pipeline_results() {
 
 #[test]
 fn similarity_graph_composes_with_graph_transformations() {
-    let ds = EmaGenerator::new(GeneratorConfig::quick(1, 8, 51)).generate();
-    let data = &ds.individuals[0].data;
-
-    for metric in GraphMetric::paper_metrics() {
-        let g = build_graph(data, metric);
-        // Every paper GDT level yields a usable propagation matrix.
-        for gdt in DensityThreshold::all() {
-            let s = sparsify(&g, gdt);
-            let a_hat = gcn_norm(&s);
-            assert!(a_hat.all_finite(), "{} {:?}", metric.label(), gdt);
-            // An odd GDT edge budget can split one symmetric edge pair,
-            // leaving Â slightly asymmetric; allow a small excursion
-            // above the symmetric bound of 1.
-            let r = spectral_radius(&a_hat, 100);
-            assert!(r <= 1.02, "{} Â radius {r}", metric.label());
-            // And a bounded Chebyshev stack for ASTGCN.
-            let cheb = chebyshev_from_adjacency(&s, 3);
-            assert_eq!(cheb.len(), 3);
-            assert!(cheb.iter().all(ema_tensor::Tensor::all_finite));
-        }
-    }
+    // Seeded property: the metric × GDT composition must hold for any
+    // generated individual, not just one fixed seed.
+    use ema_check::{prop_assert, Check};
+    Check::named("cross_crate::similarity_graph_composes_with_graph_transformations")
+        .cases(6)
+        .run(
+            |rng| rng.next_u64() % 10_000,
+            |seed| {
+                let ds = EmaGenerator::new(GeneratorConfig::quick(1, 8, *seed)).generate();
+                let data = &ds.individuals[0].data;
+                for metric in GraphMetric::paper_metrics() {
+                    let g = build_graph(data, metric);
+                    // Every paper GDT level yields a usable propagation matrix.
+                    for gdt in DensityThreshold::all() {
+                        let s = sparsify(&g, gdt);
+                        let a_hat = gcn_norm(&s);
+                        prop_assert!(a_hat.all_finite(), "{} {:?}", metric.label(), gdt);
+                        // An odd GDT edge budget can split one symmetric edge
+                        // pair, leaving Â slightly asymmetric; allow a small
+                        // excursion above the symmetric bound of 1.
+                        let r = spectral_radius(&a_hat, 100);
+                        prop_assert!(r <= 1.02, "{} Â radius {r}", metric.label());
+                        // And a bounded Chebyshev stack for ASTGCN.
+                        let cheb = chebyshev_from_adjacency(&s, 3);
+                        prop_assert!(cheb.len() == 3);
+                        prop_assert!(cheb.iter().all(ema_tensor::Tensor::all_finite));
+                    }
+                }
+                Ok(())
+            },
+        );
 }
 
 #[test]

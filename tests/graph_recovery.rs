@@ -3,6 +3,7 @@
 //! the similarity graphs (and MTGNN's learned graph) carry real signal —
 //! a check the original study could not perform on clinical data.
 
+use ema_check::Check;
 use ema_core::pipeline::{run_individual, GraphSpec, RunSpec};
 use ema_core::train::TrainConfig;
 use ema_data::{split_train_test, EmaGenerator, GeneratorConfig};
@@ -12,6 +13,7 @@ use ema_graph::stats::{edge_set_jaccard, edge_weight_correlation};
 use ema_models::{ModelConfig, ModelKind};
 use ema_similarity::{build_graph, GraphMetric};
 use ema_tensor::Rng64;
+use std::cell::Cell;
 
 /// Generator tuned for recoverable structure: long series, strong
 /// couplings, no circadian confound.
@@ -32,25 +34,43 @@ fn structured_config(seed: u64) -> GeneratorConfig {
 #[test]
 fn correlation_graph_recovers_more_structure_than_random() {
     let ds = EmaGenerator::new(structured_config(7)).generate();
-    let mut rng = Rng64::seed_from(123);
-    let mut wins = 0usize;
-    let mut total = 0usize;
-    for ind in &ds.individuals {
-        let gt = ind.ground_truth.as_ref().unwrap().symmetrized();
-        let (train, _) = split_train_test(&ind.data, 0.7);
-        let corr_graph = build_graph(&train, GraphMetric::Correlation);
-        let corr_score = edge_weight_correlation(&corr_graph, &gt);
-        // Average several random graphs of the same density.
-        let sparse = ema_graph::sparsify::sparsify(&corr_graph, DensityThreshold::Gdt40);
-        for _ in 0..5 {
-            let random = random_like(&sparse, &mut rng);
-            let rand_score = edge_weight_correlation(&random, &gt);
-            if corr_score > rand_score {
-                wins += 1;
-            }
-            total += 1;
-        }
-    }
+    // Per individual: the correlation graph's score plus the sparsity
+    // pattern the random competitors must match.
+    let per_individual: Vec<_> = ds
+        .individuals
+        .iter()
+        .map(|ind| {
+            let gt = ind.ground_truth.as_ref().unwrap().symmetrized();
+            let (train, _) = split_train_test(&ind.data, 0.7);
+            let corr_graph = build_graph(&train, GraphMetric::Correlation);
+            let corr_score = edge_weight_correlation(&corr_graph, &gt);
+            let sparse = ema_graph::sparsify::sparsify(&corr_graph, DensityThreshold::Gdt40);
+            (corr_score, sparse, gt)
+        })
+        .collect();
+
+    // Seeded property cases: each case draws fresh random graphs of the
+    // same density and tallies whether the correlation graph wins.
+    let wins = Cell::new(0usize);
+    let total = Cell::new(0usize);
+    Check::named("graph_recovery::correlation_graph_recovers_more_structure_than_random")
+        .cases(8)
+        .run(
+            |rng| rng.next_u64(),
+            |seed| {
+                let mut rng = Rng64::seed_from(*seed);
+                for (corr_score, sparse, gt) in &per_individual {
+                    let random = random_like(sparse, &mut rng);
+                    let rand_score = edge_weight_correlation(&random, gt);
+                    if *corr_score > rand_score {
+                        wins.set(wins.get() + 1);
+                    }
+                    total.set(total.get() + 1);
+                }
+                Ok(())
+            },
+        );
+    let (wins, total) = (wins.get(), total.get());
     assert!(
         wins * 10 >= total * 8,
         "correlation graph beat random in only {wins}/{total} comparisons"
