@@ -7,9 +7,12 @@ use ema_core::experiments::run_ablation;
 
 fn main() {
     let scale = scale_from_args();
+    let _obs = ema_bench::ObsRun::for_scale("ablation", &scale);
     println!("Ablations ({})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
+    ema_obs::recorder().phase("experiment");
     let table = run_ablation(&scale);
+    ema_obs::recorder().phase("report");
     println!("{}", table.render());
     println!("elapsed: {:.1?}\n", started.elapsed());
     println!("reading guide:");
@@ -19,5 +22,6 @@ fn main() {
 
     if let Some(path) = save_json("ablation", &table.to_json()) {
         println!("run recorded at {}", path.display());
+        ema_obs::recorder().annotate("results_json", path.display().to_string().into());
     }
 }

@@ -7,9 +7,12 @@ use ema_core::experiments::run_experiment_c;
 
 fn main() {
     let scale = scale_from_args();
+    let _obs = ema_bench::ObsRun::for_scale("fig3", &scale);
     println!("Experiment C ({})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
+    ema_obs::recorder().phase("experiment");
     let fig = run_experiment_c(&scale);
+    ema_obs::recorder().phase("report");
     println!("{}", fig.render());
     println!("elapsed: {:.1?}\n", started.elapsed());
 
@@ -21,5 +24,6 @@ fn main() {
 
     if let Some(path) = save_json("fig3", &fig.to_json()) {
         println!("\nrun recorded at {}", path.display());
+        ema_obs::recorder().annotate("results_json", path.display().to_string().into());
     }
 }

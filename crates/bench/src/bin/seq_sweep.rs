@@ -6,9 +6,12 @@ use ema_core::experiments::run_seq_sweep;
 
 fn main() {
     let scale = scale_from_args();
+    let _obs = ema_bench::ObsRun::for_scale("seq_sweep", &scale);
     println!("Input-length sweep ({})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
+    ema_obs::recorder().phase("experiment");
     let table = run_seq_sweep(&scale);
+    ema_obs::recorder().phase("report");
     println!("{}", table.render());
     println!("elapsed: {:.1?}\n", started.elapsed());
     println!("paper context: Table II tests Seq1/2/5 and finds multi-step input");
@@ -16,5 +19,6 @@ fn main() {
 
     if let Some(path) = save_json("seq_sweep", &table.to_json()) {
         println!("run recorded at {}", path.display());
+        ema_obs::recorder().annotate("results_json", path.display().to_string().into());
     }
 }

@@ -2,8 +2,14 @@
 //! structures × graph sparsity levels).
 
 use ema_core::experiments::scenario_grid;
+use ema_core::Json;
 
 fn main() {
+    let _obs = ema_bench::ObsRun::begin(
+        "table1",
+        Json::obj(vec![("bin", Json::Str("table1".into()))]),
+    );
+    ema_obs::recorder().phase("report");
     println!("Table I: all examined scenarios\n");
     println!(
         "{:<12}{:<18}{:<10}",

@@ -6,9 +6,12 @@ use ema_core::experiments::run_experiment_b;
 
 fn main() {
     let scale = scale_from_args();
+    let _obs = ema_bench::ObsRun::for_scale("table3", &scale);
     println!("Experiment B ({})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
+    ema_obs::recorder().phase("experiment");
     let table = run_experiment_b(&scale);
+    ema_obs::recorder().phase("report");
     println!("{}", table.render());
     println!("elapsed: {:.1?}\n", started.elapsed());
 
@@ -25,5 +28,6 @@ fn main() {
 
     if let Some(path) = save_json("table3", &table.to_json()) {
         println!("run recorded at {}", path.display());
+        ema_obs::recorder().annotate("results_json", path.display().to_string().into());
     }
 }

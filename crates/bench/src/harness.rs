@@ -154,10 +154,14 @@ impl Harness {
             config: self.config,
             result: None,
         };
-        f(&mut bencher);
+        {
+            let _bench_span = ema_obs::span!("bench", suite = self.suite.as_str(), name = name);
+            f(&mut bencher);
+        }
         let (median_ns, min_ns, mean_ns, iters) = bencher
             .result
             .expect("benchmark closure must call Bencher::iter");
+        ema_obs::recorder().set_gauge(&format!("bench_median_ns.{}.{name}", self.suite), median_ns);
         println!(
             "{:<40} median {:>12} /iter  (min {}, {} samples × {} iters)",
             name,
@@ -178,6 +182,7 @@ impl Harness {
 
     /// Prints the footer and writes `results/BENCH_<suite>.json`.
     pub fn finish(self) {
+        ema_obs::point!("bench_suite_done", suite = self.suite.as_str(), benchmarks = self.results.len());
         let json = Json::obj(vec![
             ("suite", Json::Str(self.suite.clone())),
             (

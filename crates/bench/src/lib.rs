@@ -67,6 +67,62 @@ pub fn describe_scale(scale: &ExperimentScale) -> String {
     )
 }
 
+/// True when the CLI arguments carry the `--obs` flag, which forces
+/// full-verbosity telemetry for this process (equivalent to
+/// `EMA_OBS=full`).
+#[must_use]
+pub fn obs_flag_from_args() -> bool {
+    std::env::args().any(|a| a == "--obs")
+}
+
+/// RAII handle for one binary's obs run manifest; finishes the run and
+/// prints the summary path when dropped. Inert when obs is off.
+pub struct ObsRun {
+    active: bool,
+}
+
+impl ObsRun {
+    /// Starts an obs run manifest named after the binary. `--obs` on
+    /// the command line upgrades the mode to `full` (streamed JSONL);
+    /// otherwise the `EMA_OBS` env knob applies (default `summary`,
+    /// which still records a run summary). The run writes to
+    /// `results/obs/<name>.jsonl` / `<name>.summary.json` at the
+    /// workspace root.
+    #[must_use]
+    pub fn begin(name: &str, config: ema_obs::Json) -> Self {
+        if obs_flag_from_args() {
+            ema_obs::set_mode(ema_obs::ObsMode::Full);
+        }
+        let active = ema_obs::recorder().begin_run(name, config);
+        Self { active }
+    }
+
+    /// Starts a run for a table/figure binary, recording its scale as
+    /// the run config.
+    #[must_use]
+    pub fn for_scale(name: &str, scale: &ExperimentScale) -> Self {
+        let config = ema_obs::Json::obj(vec![
+            ("bin", ema_obs::Json::from(name)),
+            ("num_individuals", ema_obs::Json::from(scale.num_individuals)),
+            ("num_variables", ema_obs::Json::from(scale.num_variables)),
+            ("mean_time_points", ema_obs::Json::from(scale.mean_time_points)),
+            ("epochs", ema_obs::Json::from(scale.epochs)),
+            ("hidden", ema_obs::Json::from(scale.hidden)),
+        ]);
+        Self::begin(name, config)
+    }
+}
+
+impl Drop for ObsRun {
+    fn drop(&mut self) {
+        if self.active {
+            if let Some(path) = ema_obs::recorder().finish_run() {
+                println!("obs manifest at {}", path.display());
+            }
+        }
+    }
+}
+
 /// Writes a JSON record under the workspace-root `results/<name>.json`
 /// (created on demand), returning the path. Anchored at the workspace
 /// root rather than the current directory because `cargo run` and

@@ -8,6 +8,7 @@ use crate::results::{CellStat, ResultTable};
 use ema_data::{make_test_windows, split_train_test};
 use ema_graph::sparsify::DensityThreshold;
 use ema_models::ModelKind;
+use ema_obs::span;
 use ema_similarity::GraphMetric;
 
 /// Input length used by the ablations.
@@ -27,6 +28,7 @@ pub const SEQ_LEN: usize = 5;
 /// One column: test MSE at Seq5, GDT 20%.
 #[must_use]
 pub fn run_ablation(scale: &ExperimentScale) -> ResultTable {
+    let _exp_span = span!("experiment", name = "ablation");
     let dataset = scale.dataset();
     let gdt = DensityThreshold::Gdt20;
     let corr = GraphMetric::Correlation;
@@ -48,6 +50,7 @@ pub fn run_ablation(scale: &ExperimentScale) -> ResultTable {
     table.push_row("ZeroPrediction (mean)", vec![CellStat::from_samples(&zeros)]);
 
     let mut add_row = |label: &str, spec: RunSpec| {
+        let _row_span = span!("condition", row = label);
         let outcomes = run_cohort(&dataset, &spec);
         let mses: Vec<f64> = outcomes.iter().map(|o| o.mse).collect();
         table.push_row(label, vec![CellStat::from_samples(&mses)]);

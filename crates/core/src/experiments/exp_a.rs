@@ -6,6 +6,7 @@ use crate::pipeline::{run_cohort, GraphSpec};
 use crate::results::{CellStat, ResultTable};
 use ema_graph::sparsify::DensityThreshold;
 use ema_models::ModelKind;
+use ema_obs::span;
 
 /// The sequence lengths of Table II.
 pub const SEQ_LENS: [usize; 3] = [1, 2, 5];
@@ -15,6 +16,7 @@ pub const SEQ_LENS: [usize; 3] = [1, 2, 5];
 /// `Seq1, Seq2, Seq5`, cells `mean(std)` MSE across individuals.
 #[must_use]
 pub fn run_experiment_a(scale: &ExperimentScale) -> ResultTable {
+    let _exp_span = span!("experiment", name = "exp_a_table2");
     let dataset = scale.dataset();
     let columns: Vec<String> = SEQ_LENS.iter().map(|s| format!("Seq{s}")).collect();
     let mut table = ResultTable::new(
@@ -23,6 +25,7 @@ pub fn run_experiment_a(scale: &ExperimentScale) -> ResultTable {
     );
 
     // Baseline LSTM row.
+    let _baseline_span = span!("condition", row = "Baseline LSTM");
     let lstm_cells: Vec<CellStat> = SEQ_LENS
         .iter()
         .map(|&seq| {
@@ -32,11 +35,14 @@ pub fn run_experiment_a(scale: &ExperimentScale) -> ResultTable {
         })
         .collect();
     table.push_row("Baseline LSTM", lstm_cells);
+    drop(_baseline_span);
 
     // GNN rows grouped by metric, then model — matching the paper's
     // ordering (model varies fastest within each metric block).
     for metric in scale.static_metrics() {
         for model in ModelKind::gnns() {
+            let row = format!("{}_{}", model.label(), metric.label());
+            let _row_span = span!("condition", row = row.as_str());
             let cells: Vec<CellStat> = SEQ_LENS
                 .iter()
                 .map(|&seq| {
@@ -54,7 +60,7 @@ pub fn run_experiment_a(scale: &ExperimentScale) -> ResultTable {
                     )
                 })
                 .collect();
-            table.push_row(format!("{}_{}", model.label(), metric.label()), cells);
+            table.push_row(row, cells);
         }
     }
     table

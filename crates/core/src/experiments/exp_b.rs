@@ -6,6 +6,7 @@ use crate::pipeline::{run_cohort, GraphSpec};
 use crate::results::{CellStat, ResultTable};
 use ema_graph::sparsify::DensityThreshold;
 use ema_models::ModelKind;
+use ema_obs::span;
 use ema_similarity::GraphMetric;
 
 /// The input length used throughout Experiment B (the paper observed
@@ -19,6 +20,7 @@ pub const SEQ_LEN: usize = 5;
 /// ("the average score after using 5 randomly generated in training").
 #[must_use]
 pub fn run_experiment_b(scale: &ExperimentScale) -> ResultTable {
+    let _exp_span = span!("experiment", name = "exp_b_table3");
     let dataset = scale.dataset();
     let columns: Vec<String> = DensityThreshold::all()
         .iter()
@@ -31,6 +33,8 @@ pub fn run_experiment_b(scale: &ExperimentScale) -> ResultTable {
 
     for metric in scale.static_metrics() {
         for model in ModelKind::gnns() {
+            let row = format!("{}_{}", model.label(), metric.label());
+            let _row_span = span!("condition", row = row.as_str());
             let cells: Vec<CellStat> = DensityThreshold::all()
                 .iter()
                 .map(|&gdt| {
@@ -41,12 +45,14 @@ pub fn run_experiment_b(scale: &ExperimentScale) -> ResultTable {
                     )
                 })
                 .collect();
-            table.push_row(format!("{}_{}", model.label(), metric.label()), cells);
+            table.push_row(row, cells);
         }
     }
 
     // RAND control: averaged over independently seeded random graphs.
     for model in ModelKind::gnns() {
+        let row = format!("{}_RAND", model.label());
+        let _row_span = span!("condition", row = row.as_str());
         let cells: Vec<CellStat> = DensityThreshold::all()
             .iter()
             .map(|&gdt| {
@@ -60,7 +66,7 @@ pub fn run_experiment_b(scale: &ExperimentScale) -> ResultTable {
                 CellStat::from_samples(&samples)
             })
             .collect();
-        table.push_row(format!("{}_RAND", model.label()), cells);
+        table.push_row(row, cells);
     }
     table
 }

@@ -13,6 +13,7 @@ use crate::results::{mean_relative_change_percent, BoxplotStats};
 use ema_graph::sparsify::DensityThreshold;
 use ema_graph::stats::edge_weight_correlation;
 use ema_models::ModelKind;
+use ema_obs::span;
 
 /// Input length used in Experiment C (sparse graphs, Seq5 — Sec. VI-C).
 pub const SEQ_LEN: usize = 5;
@@ -128,12 +129,14 @@ impl Fig3Results {
 /// Runs Experiment C.
 #[must_use]
 pub fn run_experiment_c(scale: &ExperimentScale) -> Fig3Results {
+    let _exp_span = span!("experiment", name = "exp_c_fig3");
     let dataset = scale.dataset();
     let gdt = DensityThreshold::Gdt20;
     let mut entries = Vec::new();
     let mut graph_correlations = Vec::new();
 
     for metric in scale.static_metrics() {
+        let _metric_span = span!("condition", metric = metric.label());
         // 1. MTGNN primed with this static graph; collect its MSEs and
         //    per-individual learned graphs.
         let mtgnn_spec = scale.spec(ModelKind::Mtgnn, GraphSpec::Static { metric, gdt }, SEQ_LEN);

@@ -14,6 +14,13 @@
 //!    (Table II), graph structure & sparsity (Table III), and static vs
 //!    MTGNN-learned graphs (Fig. 3), plus ablations.
 //!
+//! The pipeline is instrumented end to end with [`ema_obs`] telemetry:
+//! per-individual/per-condition spans, per-epoch `train_epoch` events
+//! (loss, gradient norm) and early-stop decisions, controlled by
+//! `EMA_OBS=off|summary|full` (default `summary`). Telemetry is
+//! determinism-safe — timing only ever appears in `results/obs/`
+//! output, never in results or checkpoint JSON.
+//!
 //! ```no_run
 //! use ema_core::experiments::{ExperimentScale, run_experiment_a};
 //!

@@ -9,6 +9,7 @@ use ema_graph::AdjacencyMatrix;
 use ema_models::{
     build_model, A3tgcn, Astgcn, Forecaster, GraphLearnerKind, ModelConfig, ModelKind, Mtgnn,
 };
+use ema_obs::span;
 use ema_similarity::{build_graph, GraphMetric};
 use ema_tensor::Tensor;
 
@@ -28,6 +29,20 @@ pub enum GraphSpec {
     /// An externally supplied graph (e.g. an MTGNN-learned graph being
     /// fed to another model, Experiment C).
     Provided(AdjacencyMatrix),
+}
+
+impl GraphSpec {
+    /// Short label for telemetry (obs span fields).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            GraphSpec::None => "none".to_string(),
+            GraphSpec::Static { metric, gdt } => {
+                format!("{}@{}", metric.label(), gdt.label())
+            }
+            GraphSpec::Provided(_) => "provided".to_string(),
+        }
+    }
 }
 
 /// Everything needed to run one model condition on one individual.
@@ -115,6 +130,13 @@ pub fn graph_for_individual(
 /// or the spec is inconsistent (graph-free GNN).
 #[must_use]
 pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOutcome {
+    let _individual_span = span!(
+        "individual",
+        individual = id,
+        model = spec.model.label(),
+        graph = spec.graph.label(),
+        seq_len = spec.seq_len
+    );
     let (train, test) = split_train_test(data, spec.train_fraction);
     let v = data.dims()[1];
 
@@ -122,6 +144,12 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
     let graph = match &spec.graph {
         GraphSpec::None => None,
         GraphSpec::Static { metric, gdt } => {
+            let _graph_span = span!(
+                "build_graph",
+                individual = id,
+                metric = metric.label(),
+                gdt = gdt.label()
+            );
             Some(graph_for_individual(&train, *metric, *gdt))
         }
         GraphSpec::Provided(g) => Some(g.clone()),
@@ -158,10 +186,18 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
     // Per-individual dropout stream: deterministic but distinct.
     let mut train_config = spec.train_config;
     train_config.seed = spec.train_config.seed.wrapping_add(id as u64);
-    let report = train_model(&mut *model, &train_windows, &train_config);
+    let report = {
+        let _train_span = span!("train", individual = id, windows = train_windows.len());
+        train_model(&mut *model, &train_windows, &train_config)
+    };
 
-    let mse = evaluate_mse(&*model, &test_windows);
-    let per_variable_mse = evaluate_per_variable_mse(&*model, &test_windows);
+    let (mse, per_variable_mse) = {
+        let _eval_span = span!("evaluate", individual = id, windows = test_windows.len());
+        (
+            evaluate_mse(&*model, &test_windows),
+            evaluate_per_variable_mse(&*model, &test_windows),
+        )
+    };
 
     // Extract the learned graph from MTGNN for Experiment C.
     let learned_graph = if spec.model == ModelKind::Mtgnn && spec.learn_graph {
@@ -191,6 +227,13 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
 /// in individual order.
 #[must_use]
 pub fn run_cohort(dataset: &EmaDataset, spec: &RunSpec) -> Vec<IndividualOutcome> {
+    let _cohort_span = span!(
+        "cohort",
+        model = spec.model.label(),
+        graph = spec.graph.label(),
+        seq_len = spec.seq_len,
+        individuals = dataset.individuals.len()
+    );
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)

@@ -3,7 +3,9 @@
 use ema_autodiff::Tape;
 use ema_data::WindowedData;
 use ema_models::{Forecaster, ForwardCtx};
-use ema_nn::{Adam, Optimizer, OptimizerConfig};
+use ema_nn::{global_grad_norm, Adam, Optimizer, OptimizerConfig};
+use ema_obs::metrics::{EPOCH_BUCKETS, GRAD_NORM_BUCKETS, LOSS_BUCKETS};
+use ema_obs::point;
 use ema_tensor::{Rng64, Tensor};
 
 /// Training hyper-parameters. Defaults follow the paper: Adam with
@@ -20,9 +22,12 @@ pub struct TrainConfig {
     /// Seed for dropout masks.
     pub seed: u64,
     /// Stop early when the training loss improves by less than this
-    /// relative amount over `patience` epochs (0 disables).
+    /// relative amount over `patience` epochs. **`0` disables early
+    /// stopping entirely** (the default), in which case `patience` is
+    /// never consulted and every run goes the full `epochs`.
     pub early_stop_rel: f64,
-    /// Early-stopping patience in epochs.
+    /// Early-stopping patience in epochs. Only meaningful when
+    /// `early_stop_rel > 0`; ignored otherwise (see `early_stop_rel`).
     pub patience: usize,
 }
 
@@ -57,8 +62,13 @@ impl TrainConfig {
 pub struct TrainReport {
     /// Training loss per epoch (length ≤ `epochs` with early stopping).
     pub losses: Vec<f64>,
+    /// Global gradient L2 norm per epoch (same length as `losses`),
+    /// measured before clipping.
+    pub grad_norms: Vec<f64>,
     /// Number of epochs actually run.
     pub epochs_run: usize,
+    /// Whether the early-stopping rule truncated the schedule.
+    pub early_stopped: bool,
 }
 
 impl TrainReport {
@@ -78,6 +88,15 @@ impl TrainReport {
     #[must_use]
     pub fn initial_loss(&self) -> f64 {
         self.losses[0]
+    }
+
+    /// The last epoch's pre-clip global gradient norm.
+    ///
+    /// # Panics
+    /// Panics if no epochs ran.
+    #[must_use]
+    pub fn final_grad_norm(&self) -> f64 {
+        *self.grad_norms.last().expect("at least one epoch")
     }
 }
 
@@ -104,10 +123,13 @@ pub fn train_model(
     let mut rng = Rng64::seed_from(config.seed);
     let targets = windows.targets_matrix();
 
+    let obs = ema_obs::recorder();
     let mut losses = Vec::with_capacity(config.epochs);
+    let mut grad_norms = Vec::with_capacity(config.epochs);
+    let mut early_stopped = false;
     let mut best = f64::INFINITY;
     let mut since_best = 0usize;
-    for _ in 0..config.epochs {
+    for epoch in 0..config.epochs {
         let tape = Tape::new();
         let binding = model.params().bind(&tape);
         let mut ctx = ForwardCtx::train(&mut rng);
@@ -123,7 +145,12 @@ pub fn train_model(
         losses.push(loss_value);
 
         let grads = tape.backward(loss);
+        let grad_norm = global_grad_norm(model.params(), &binding, &grads);
+        grad_norms.push(grad_norm);
         adam.step(model.params_mut(), &binding, &grads);
+
+        point!("train_epoch", epoch = epoch, loss = loss_value, grad_norm = grad_norm);
+        obs.observe("train_loss", &LOSS_BUCKETS, loss_value);
 
         // Optional early stopping on stalled training loss.
         if config.early_stop_rel > 0.0 {
@@ -133,13 +160,24 @@ pub fn train_model(
             } else {
                 since_best += 1;
                 if since_best >= config.patience {
+                    early_stopped = true;
+                    point!(
+                        "early_stop",
+                        epoch = epoch,
+                        best_loss = best.min(loss_value),
+                        patience = config.patience,
+                        rel_threshold = config.early_stop_rel
+                    );
+                    obs.inc_counter("early_stops", 1);
                     break;
                 }
             }
         }
     }
     let epochs_run = losses.len();
-    TrainReport { losses, epochs_run }
+    obs.observe("epochs_run", &EPOCH_BUCKETS, epochs_run as f64);
+    obs.observe("grad_norm_final", &GRAD_NORM_BUCKETS, *grad_norms.last().expect("ran"));
+    TrainReport { losses, grad_norms, epochs_run, early_stopped }
 }
 
 /// Predicts every window in evaluation mode, returning `[n, V]`.
@@ -194,7 +232,24 @@ mod tests {
         cfg.patience = 5;
         let report = train_model(&mut *model, &windows, &cfg);
         assert!(report.epochs_run < 500, "early stopping never fired");
+        assert!(report.early_stopped);
         assert_eq!(report.losses.len(), report.epochs_run);
+        assert_eq!(report.grad_norms.len(), report.epochs_run);
+        assert!(report.final_grad_norm().is_finite());
+    }
+
+    #[test]
+    fn disabled_early_stop_ignores_patience() {
+        // early_stop_rel = 0 (the default) must run the full schedule
+        // no matter how small `patience` is.
+        let windows = toy_windows(2);
+        let mut model = build_model(ModelKind::Lstm, 3, 2, &ModelConfig::tiny(0), None);
+        let mut cfg = TrainConfig { epochs: 12, seed: 4, ..TrainConfig::default() };
+        cfg.patience = 1;
+        assert_eq!(cfg.early_stop_rel, 0.0);
+        let report = train_model(&mut *model, &windows, &cfg);
+        assert_eq!(report.epochs_run, 12);
+        assert!(!report.early_stopped);
     }
 
     #[test]

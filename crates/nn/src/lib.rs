@@ -52,6 +52,6 @@ pub use attention::TemporalAttention;
 pub use conv::DilatedTemporalConv;
 pub use init::Initializer;
 pub use linear::Linear;
-pub use optim::{Adam, LrSchedule, Optimizer, OptimizerConfig, Sgd};
+pub use optim::{global_grad_norm, Adam, LrSchedule, Optimizer, OptimizerConfig, Sgd};
 pub use params::{Binding, ParamId, ParamStore};
 pub use rnn::{GruCell, LstmCell, LstmState};

@@ -78,17 +78,24 @@ pub trait Optimizer {
     fn steps(&self) -> usize;
 }
 
+/// Global L2 norm over every bound parameter's gradient — the quantity
+/// global-norm clipping compares against, exposed so the training loop
+/// can report it per epoch (obs telemetry, divergence diagnosis).
+#[must_use]
+pub fn global_grad_norm(store: &ParamStore, binding: &Binding, grads: &Grads) -> f64 {
+    let mut sq = 0.0;
+    for (id, var) in binding.iter() {
+        sq += grads.get_or_zeros(var, store.value(id).dims()).sq_sum();
+    }
+    sq.sqrt()
+}
+
 /// Computes the global clip factor (`<= 1`) for a gradient set.
 fn clip_factor(store: &ParamStore, binding: &Binding, grads: &Grads, clip: f64) -> f64 {
     if clip <= 0.0 {
         return 1.0;
     }
-    let mut sq = 0.0;
-    for (id, var) in binding.iter() {
-        let g = grads.get_or_zeros(var, store.value(id).dims());
-        sq += g.data().iter().map(|&v| v * v).sum::<f64>();
-    }
-    let norm = sq.sqrt();
+    let norm = global_grad_norm(store, binding, grads);
     if norm > clip {
         clip / norm
     } else {

@@ -1,0 +1,449 @@
+//! Structured span/event tracing with monotonic nanosecond timing.
+//!
+//! A [`Recorder`] owns the event sink behind one mutex, a
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry), and the active
+//! run manifest (see [`crate::manifest`]). Instrumented code normally
+//! talks to the process-wide recorder through [`recorder`] and the
+//! [`span!`](crate::span!) / [`point!`](crate::point!) macros; tests
+//! build private recorders ([`Recorder::in_memory`]) so they never race
+//! the global one.
+//!
+//! Verbosity is a three-level knob, `EMA_OBS=off|summary|full`
+//! (default `summary`):
+//!
+//! - `off` — every obs call is a cheap no-op; no files are created;
+//! - `summary` — events are *counted* and metrics accumulate, but no
+//!   per-event JSONL is written; a run manifest still gets its summary
+//!   JSON;
+//! - `full` — additionally streams every span/point event as one JSON
+//!   line to `results/obs/<run>.jsonl`.
+//!
+//! Timing fields (`t_ns`, `dur_ns`) are offsets from the recorder's
+//! creation on the monotonic clock. They appear **only** in obs output;
+//! results and checkpoint JSON never contain wall-clock data, which is
+//! what keeps same-seed runs byte-identical under every mode.
+
+use crate::json::Json;
+use crate::manifest::RunState;
+use crate::metrics::MetricsRegistry;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Obs verbosity, resolved from `EMA_OBS` (default [`ObsMode::Summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsMode {
+    /// No telemetry at all; no obs files are ever created.
+    Off,
+    /// Metrics + event counts + run summaries, no per-event JSONL.
+    Summary,
+    /// Everything, including the streamed JSONL event log.
+    Full,
+}
+
+impl ObsMode {
+    /// Reads the mode from the `EMA_OBS` environment variable.
+    /// Unrecognised values fall back to `Summary` with a warning —
+    /// observability must never abort a run.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("EMA_OBS").as_deref() {
+            Ok("off") | Ok("0") => ObsMode::Off,
+            Ok("full") => ObsMode::Full,
+            Ok("summary") | Err(_) => ObsMode::Summary,
+            Ok(other) => {
+                eprintln!("warning: unknown EMA_OBS={other:?}; using \"summary\"");
+                ObsMode::Summary
+            }
+        }
+    }
+
+    /// Stable label used in run summaries.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsMode::Off => "off",
+            ObsMode::Summary => "summary",
+            ObsMode::Full => "full",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ObsMode::Off => 0,
+            ObsMode::Summary => 1,
+            ObsMode::Full => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ObsMode::Off,
+            2 => ObsMode::Full,
+            _ => ObsMode::Summary,
+        }
+    }
+}
+
+/// Where emitted events go.
+pub(crate) enum Sink {
+    /// Events are counted but not persisted (`off`/`summary`).
+    Null,
+    /// Events accumulate in memory — test recorders only.
+    Memory(Vec<Json>),
+    /// Events stream to a JSONL file (`full` mode with an active run).
+    File(BufWriter<File>),
+}
+
+impl Sink {
+    fn write(&mut self, event: &Json) {
+        match self {
+            Sink::Null => {}
+            Sink::Memory(buf) => buf.push(event.clone()),
+            Sink::File(w) => {
+                // Obs is best-effort: a full disk must not kill training.
+                let _ = writeln!(w, "{}", event.compact());
+            }
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) sink: Sink,
+    pub(crate) event_counts: BTreeMap<String, u64>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) run: Option<RunState>,
+}
+
+/// A thread-safe telemetry recorder; see the module docs for the
+/// mode semantics.
+pub struct Recorder {
+    start: Instant,
+    mode: AtomicU8,
+    pub(crate) inner: Mutex<Inner>,
+}
+
+// Per-thread span depth and a small stable-ish thread id for event
+// attribution; both are obs-output-only.
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static THREAD_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
+
+fn thread_id() -> usize {
+    THREAD_ID.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    })
+}
+
+impl Recorder {
+    /// A recorder with the given mode and a null sink.
+    #[must_use]
+    pub fn with_mode(mode: ObsMode) -> Self {
+        Self {
+            start: Instant::now(),
+            mode: AtomicU8::new(mode.to_u8()),
+            inner: Mutex::new(Inner {
+                sink: Sink::Null,
+                event_counts: BTreeMap::new(),
+                metrics: MetricsRegistry::new(),
+                run: None,
+            }),
+        }
+    }
+
+    /// A recorder resolved from `EMA_OBS` — the global default.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::with_mode(ObsMode::from_env())
+    }
+
+    /// A recorder whose events accumulate in memory, for tests; read
+    /// them back with [`Recorder::drain_events`].
+    #[must_use]
+    pub fn in_memory(mode: ObsMode) -> Self {
+        let rec = Self::with_mode(mode);
+        rec.inner.lock().expect("fresh lock").sink = Sink::Memory(Vec::new());
+        rec
+    }
+
+    /// The current mode (one relaxed atomic load — safe on hot paths).
+    #[must_use]
+    pub fn mode(&self) -> ObsMode {
+        ObsMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Overrides the mode (the `--obs` bench flag and tests use this;
+    /// normal runs inherit `EMA_OBS`).
+    pub fn set_mode(&self, mode: ObsMode) {
+        self.mode.store(mode.to_u8(), Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this recorder was created (monotonic clock).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic while holding this lock poisons it; obs keeps working
+        // for the surviving threads rather than cascading the panic.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn emit(&self, name: &str, event: Json) {
+        let mut inner = self.lock();
+        *inner.event_counts.entry(name.to_string()).or_insert(0) += 1;
+        inner.sink.write(&event);
+    }
+
+    /// Opens a span: emits an `enter` event now and the matching `exit`
+    /// (with `dur_ns`) when the returned guard drops. In `Off` mode the
+    /// guard is inert and free.
+    #[must_use]
+    pub fn span(&self, name: &str, fields: Vec<(&str, Json)>) -> SpanGuard<'_> {
+        if self.mode() == ObsMode::Off {
+            return SpanGuard { rec: None, name: String::new(), start_ns: 0, depth: 0, thread: 0 };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        let thread = thread_id();
+        let start_ns = self.elapsed_ns();
+        self.emit(
+            name,
+            Json::obj(vec![
+                ("ev", Json::from("enter")),
+                ("span", Json::from(name)),
+                ("t_ns", Json::from(start_ns)),
+                ("thread", Json::from(thread)),
+                ("depth", Json::from(depth)),
+                ("fields", Json::obj(fields)),
+            ]),
+        );
+        SpanGuard { rec: Some(self), name: name.to_string(), start_ns, depth, thread }
+    }
+
+    /// Emits one instantaneous event (no duration), e.g. a
+    /// `train_epoch` sample or an `early_stop` decision.
+    pub fn point(&self, name: &str, fields: Vec<(&str, Json)>) {
+        if self.mode() == ObsMode::Off {
+            return;
+        }
+        let event = Json::obj(vec![
+            ("ev", Json::from("point")),
+            ("name", Json::from(name)),
+            ("t_ns", Json::from(self.elapsed_ns())),
+            ("thread", Json::from(thread_id())),
+            ("fields", Json::obj(fields)),
+        ]);
+        self.emit(name, event);
+    }
+
+    /// Adds `by` to the named counter (no-op in `Off` mode).
+    pub fn inc_counter(&self, name: &str, by: u64) {
+        if self.mode() != ObsMode::Off {
+            self.lock().metrics.inc_counter(name, by);
+        }
+    }
+
+    /// Sets the named gauge (no-op in `Off` mode).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if self.mode() != ObsMode::Off {
+            self.lock().metrics.set_gauge(name, value);
+        }
+    }
+
+    /// Records a histogram observation (no-op in `Off` mode); the
+    /// histogram is created with `bounds` on first use.
+    pub fn observe(&self, name: &str, bounds: &[f64], value: f64) {
+        if self.mode() != ObsMode::Off {
+            self.lock().metrics.observe(name, bounds, value);
+        }
+    }
+
+    /// A point-in-time JSON export of the metrics registry.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Json {
+        self.lock().metrics.snapshot()
+    }
+
+    /// How many events with this name were emitted since the last run
+    /// boundary (or recorder creation).
+    #[must_use]
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.lock().event_counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Takes the buffered events out of a [`Recorder::in_memory`]
+    /// recorder (empty for other sinks).
+    #[must_use]
+    pub fn drain_events(&self) -> Vec<Json> {
+        match &mut self.lock().sink {
+            Sink::Memory(buf) => std::mem::take(buf),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// RAII guard for an open span; emits the `exit` event on drop.
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    name: String,
+    start_ns: u64,
+    depth: usize,
+    thread: usize,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let now = rec.elapsed_ns();
+        rec.emit(
+            &self.name,
+            Json::obj(vec![
+                ("ev", Json::from("exit")),
+                ("span", Json::from(self.name.as_str())),
+                ("t_ns", Json::from(now)),
+                ("thread", Json::from(self.thread)),
+                ("depth", Json::from(self.depth)),
+                ("dur_ns", Json::from(now.saturating_sub(self.start_ns))),
+            ]),
+        );
+    }
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder, created from `EMA_OBS` on first use.
+/// Instrumented library code (training loop, pipeline, bench harness)
+/// reports here.
+pub fn recorder() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::from_env)
+}
+
+/// Shorthand for `recorder().mode()`.
+#[must_use]
+pub fn mode() -> ObsMode {
+    recorder().mode()
+}
+
+/// Shorthand for `recorder().set_mode(mode)`.
+pub fn set_mode(mode: ObsMode) {
+    recorder().set_mode(mode);
+}
+
+/// Opens a span on the global recorder:
+/// `let _s = span!("train_epoch", individual = id, epoch = e);`
+/// Field values can be anything with `impl Into<Json>` (numbers,
+/// strings, bools). The span closes when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::recorder().span($name, ::std::vec![
+            $( (stringify!($key), $crate::Json::from($val)) ),*
+        ])
+    };
+}
+
+/// Emits an instantaneous event on the global recorder:
+/// `point!("early_stop", epoch = e, best = best);`
+#[macro_export]
+macro_rules! point {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::recorder().point($name, ::std::vec![
+            $( (stringify!($key), $crate::Json::from($val)) ),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_emits_nothing() {
+        let rec = Recorder::in_memory(ObsMode::Off);
+        {
+            let _s = rec.span("quiet", vec![]);
+            rec.point("nope", vec![]);
+            rec.inc_counter("n", 1);
+        }
+        assert!(rec.drain_events().is_empty());
+        assert_eq!(rec.event_count("quiet"), 0);
+        assert_eq!(rec.metrics_snapshot().require("counters").unwrap(), &Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn spans_emit_balanced_enter_exit_with_duration() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        {
+            let _outer = rec.span("outer", vec![("k", Json::from(1usize))]);
+            let _inner = rec.span("inner", vec![]);
+        }
+        let events = rec.drain_events();
+        assert_eq!(events.len(), 4);
+        let evs: Vec<&str> = events
+            .iter()
+            .map(|e| e.require("ev").unwrap().to_str().unwrap())
+            .collect();
+        assert_eq!(evs, ["enter", "enter", "exit", "exit"]);
+        // Inner exits first (LIFO) and carries a duration.
+        assert_eq!(events[2].require("span").unwrap().to_str().unwrap(), "inner");
+        assert!(events[2].require("dur_ns").unwrap().to_f64().unwrap() >= 0.0);
+        // Depths: outer = 0, inner = 1, matched on exit.
+        assert_eq!(events[0].require("depth").unwrap().to_usize().unwrap(), 0);
+        assert_eq!(events[1].require("depth").unwrap().to_usize().unwrap(), 1);
+        assert_eq!(events[3].require("depth").unwrap().to_usize().unwrap(), 0);
+    }
+
+    #[test]
+    fn summary_mode_counts_without_persisting() {
+        let rec = Recorder::with_mode(ObsMode::Summary);
+        rec.point("train_epoch", vec![("loss", Json::Num(0.5))]);
+        rec.point("train_epoch", vec![("loss", Json::Num(0.4))]);
+        assert_eq!(rec.event_count("train_epoch"), 2);
+        assert!(rec.drain_events().is_empty());
+    }
+
+    #[test]
+    fn recorder_is_thread_safe() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..25 {
+                        let _s = rec.span("worker", vec![("i", Json::from(i as usize))]);
+                        rec.inc_counter("iterations", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.event_count("worker"), 4 * 25 * 2); // enter + exit
+        let snap = rec.metrics_snapshot();
+        let counters = snap.require("counters").unwrap();
+        assert_eq!(counters.require("iterations").unwrap().to_usize().unwrap(), 100);
+    }
+
+    #[test]
+    fn mode_parsing_matches_knob_docs() {
+        assert_eq!(ObsMode::from_u8(ObsMode::Off.to_u8()), ObsMode::Off);
+        assert_eq!(ObsMode::from_u8(ObsMode::Summary.to_u8()), ObsMode::Summary);
+        assert_eq!(ObsMode::from_u8(ObsMode::Full.to_u8()), ObsMode::Full);
+        assert_eq!(ObsMode::Full.label(), "full");
+    }
+}

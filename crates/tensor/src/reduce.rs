@@ -15,6 +15,18 @@ impl Tensor {
         self.sum() / self.len() as f64
     }
 
+    /// Sum of squared elements (the squared Frobenius/L2 norm).
+    #[must_use]
+    pub fn sq_sum(&self) -> f64 {
+        self.data().iter().map(|&v| v * v).sum()
+    }
+
+    /// Frobenius/L2 norm of all elements.
+    #[must_use]
+    pub fn l2_norm(&self) -> f64 {
+        self.sq_sum().sqrt()
+    }
+
     /// Population variance of all elements.
     #[must_use]
     pub fn variance(&self) -> f64 {

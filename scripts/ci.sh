@@ -29,6 +29,14 @@ cargo test --offline --workspace -q
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> obs smoke (EMA_OBS=full)"
+# Trains one tiny individual with full tracing; the example itself
+# re-parses every JSONL line with ema_core::Json and panics on any
+# malformed event, so a green run validates the whole obs path.
+EMA_OBS=full cargo run --offline -q -p ema-core --example obs_loss_curve > /dev/null
+test -s results/obs/obs_loss_curve.jsonl
+test -s results/obs/obs_loss_curve.summary.json
+
 if [ "$WITH_BENCH" = 1 ]; then
   echo "==> cargo bench (fast settings)"
   EMA_BENCH_SAMPLES=3 EMA_BENCH_SAMPLE_MS=2 cargo bench --offline --workspace

@@ -53,6 +53,58 @@ fn same_seed_pipeline_runs_emit_byte_identical_json() {
     assert_eq!(parsed.to_json(), first);
 }
 
+/// Obs is observation only: switching `EMA_OBS` between `off` and
+/// `full` must leave the experiment record byte-identical, and `off`
+/// must never touch the filesystem.
+#[test]
+fn obs_modes_never_perturb_results_and_off_writes_nothing() {
+    use ema_core::Json;
+    use ema_obs::{recorder, set_mode, ObsMode};
+    use std::path::Path;
+
+    let scratch = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("target/obs-det-test");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Off: runs cannot start and no files appear.
+    set_mode(ObsMode::Off);
+    let off_json = tiny_results_json();
+    assert!(
+        !recorder().begin_run_in("det_off", Json::Null, &scratch),
+        "off mode must refuse to start a run"
+    );
+    assert!(!scratch.exists(), "off mode must not create obs files");
+
+    // Full: stream everything; the results must not change by a byte.
+    set_mode(ObsMode::Full);
+    assert!(recorder().begin_run_in("det_full", Json::Null, &scratch));
+    let full_json = tiny_results_json();
+    let summary = recorder().finish_run().expect("summary written");
+    set_mode(ObsMode::from_env());
+
+    assert!(
+        off_json == full_json,
+        "obs mode changed the experiment output:\n--- off ---\n{off_json}\n--- full ---\n{full_json}"
+    );
+
+    // The streamed log exists, parses line by line with the in-house
+    // JSON parser, and carries the per-epoch training telemetry.
+    let log = scratch.join("det_full.jsonl");
+    let text = std::fs::read_to_string(&log).expect("full mode streams JSONL");
+    let mut train_epochs = 0;
+    for line in text.lines() {
+        let event = Json::parse(line).expect("every JSONL line parses");
+        if event.get("name").and_then(Json::as_str) == Some("train_epoch") {
+            train_epochs += 1;
+        }
+    }
+    assert!(train_epochs > 0, "full-mode log must record train_epoch events");
+    assert!(summary.exists(), "run summary JSON must exist");
+}
+
 #[test]
 fn same_seed_training_yields_byte_identical_checkpoints() {
     use ema_models::{build_model, ModelConfig};
