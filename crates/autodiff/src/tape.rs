@@ -223,12 +223,18 @@ impl Tape {
         grads[loss.0] = Some(Tensor::from_vec1(vec![1.0]));
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = grads[i].clone() else { continue };
+            // The tape is append-only, so every parent index is < i:
+            // node i's gradient can be borrowed while the parents'
+            // accumulators are written, with no clone of `g` and no
+            // reallocation on accumulation.
+            let (parents, rest) = grads.split_at_mut(i);
+            let Some(g) = rest[0].as_ref() else { continue };
             let node = &nodes[i];
-            let contribs = backward_one(&nodes, &node.op, &node.value, &g);
+            let contribs = backward_one(&nodes, &node.op, &node.value, g);
             for (parent, contrib) in contribs {
-                match &mut grads[parent.0] {
-                    Some(acc) => *acc = acc.add(&contrib),
+                debug_assert!(parent.0 < i, "tape parents must precede children");
+                match &mut parents[parent.0] {
+                    Some(acc) => acc.add_assign(&contrib),
                     slot @ None => *slot = Some(contrib),
                 }
             }

@@ -1,0 +1,40 @@
+//! Cohort throughput of the full per-individual pipeline (split →
+//! graph → train → evaluate) scheduled by the `ema_core::exec` engine
+//! at 1, 2 and all available workers. Each entry records
+//! individuals/sec as `throughput_per_sec` in
+//! `results/BENCH_pipeline.json`. Results JSON is byte-identical at
+//! every thread count; only the wall-clock figures here move.
+
+use ema_bench::Harness;
+use ema_core::experiments::ExperimentScale;
+use ema_core::{run_cohort_with, Executor, GraphSpec};
+use ema_models::ModelKind;
+use std::hint::black_box;
+
+fn main() {
+    let mut harness = Harness::new("pipeline");
+
+    // A small LSTM cohort: big enough to keep several workers busy,
+    // small enough that one sample stays in the millisecond range.
+    let mut scale = ExperimentScale::tiny();
+    scale.num_individuals = 6;
+    let dataset = scale.dataset();
+    let spec = scale.spec(ModelKind::Lstm, GraphSpec::None, 2);
+
+    let max = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, max];
+    counts.sort_unstable();
+    counts.dedup();
+
+    for threads in counts {
+        let executor = Executor::with_threads(threads);
+        harness.bench_function(&format!("cohort_lstm_threads_{threads}"), |b| {
+            b.items(dataset.individuals.len() as f64);
+            b.iter(|| black_box(run_cohort_with(&dataset, &spec, &executor)));
+        });
+    }
+
+    harness.finish();
+}

@@ -7,8 +7,9 @@ use ema_core::experiments::run_ablation;
 
 fn main() {
     let scale = scale_from_args();
+    let threads = ema_bench::threads_from_args();
     let _obs = ema_bench::ObsRun::for_scale("ablation", &scale);
-    println!("Ablations ({})\n", describe_scale(&scale));
+    println!("Ablations ({}, threads={threads})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
     ema_obs::recorder().phase("experiment");
     let table = run_ablation(&scale);

@@ -7,8 +7,9 @@ use ema_core::experiments::run_experiment_c;
 
 fn main() {
     let scale = scale_from_args();
+    let threads = ema_bench::threads_from_args();
     let _obs = ema_bench::ObsRun::for_scale("fig3", &scale);
-    println!("Experiment C ({})\n", describe_scale(&scale));
+    println!("Experiment C ({}, threads={threads})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
     ema_obs::recorder().phase("experiment");
     let fig = run_experiment_c(&scale);

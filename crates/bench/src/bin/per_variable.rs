@@ -6,8 +6,9 @@ use ema_core::experiments::run_per_variable;
 
 fn main() {
     let scale = scale_from_args();
+    let threads = ema_bench::threads_from_args();
     let _obs = ema_bench::ObsRun::for_scale("per_variable", &scale);
-    println!("Per-variable MSE ({})\n", describe_scale(&scale));
+    println!("Per-variable MSE ({}, threads={threads})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
     ema_obs::recorder().phase("experiment");
     let table = run_per_variable(&scale);

@@ -5,6 +5,9 @@ use ema_core::experiments::scenario_grid;
 use ema_core::Json;
 
 fn main() {
+    // Table I is a pure enumeration, but the flag is accepted uniformly
+    // across every binary.
+    let _threads = ema_bench::threads_from_args();
     let _obs = ema_bench::ObsRun::begin(
         "table1",
         Json::obj(vec![("bin", Json::Str("table1".into()))]),

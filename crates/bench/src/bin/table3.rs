@@ -6,8 +6,9 @@ use ema_core::experiments::run_experiment_b;
 
 fn main() {
     let scale = scale_from_args();
+    let threads = ema_bench::threads_from_args();
     let _obs = ema_bench::ObsRun::for_scale("table3", &scale);
-    println!("Experiment B ({})\n", describe_scale(&scale));
+    println!("Experiment B ({}, threads={threads})\n", describe_scale(&scale));
     let started = std::time::Instant::now();
     ema_obs::recorder().phase("experiment");
     let table = run_experiment_b(&scale);

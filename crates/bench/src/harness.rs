@@ -63,18 +63,36 @@ pub struct BenchResult {
     pub samples: usize,
     /// Iterations per sample after calibration.
     pub iters_per_sample: u64,
+    /// Logical items processed per iteration (e.g. individuals per
+    /// cohort run), when the benchmark declared any via
+    /// [`Bencher::items`].
+    pub items_per_iter: Option<f64>,
 }
 
 impl BenchResult {
+    /// Items per second at the median iteration time, when the
+    /// benchmark declared an item count.
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> Option<f64> {
+        self.items_per_iter.map(|items| items * 1e9 / self.median_ns)
+    }
+
     fn to_json_value(&self) -> Json {
-        Json::obj(vec![
+        let mut members = vec![
             ("name", Json::Str(self.name.clone())),
             ("median_ns", Json::Num(self.median_ns)),
             ("min_ns", Json::Num(self.min_ns)),
             ("mean_ns", Json::Num(self.mean_ns)),
             ("samples", Json::Num(self.samples as f64)),
             ("iters_per_sample", Json::Num(self.iters_per_sample as f64)),
-        ])
+        ];
+        if let Some(items) = self.items_per_iter {
+            members.push(("items_per_iter", Json::Num(items)));
+        }
+        if let Some(tp) = self.throughput_per_sec() {
+            members.push(("throughput_per_sec", Json::Num(tp)));
+        }
+        Json::obj(members)
     }
 }
 
@@ -82,10 +100,18 @@ impl BenchResult {
 /// [`Bencher::iter`] exactly once with the workload.
 pub struct Bencher {
     config: Config,
+    items_per_iter: Option<f64>,
     result: Option<(f64, f64, f64, u64)>,
 }
 
 impl Bencher {
+    /// Declares how many logical items one iteration processes (e.g.
+    /// individuals per cohort run); the suite then reports and records
+    /// a `throughput_per_sec` figure alongside the timing.
+    pub fn items(&mut self, per_iter: f64) {
+        self.items_per_iter = Some(per_iter);
+    }
+
     /// Warm up, calibrate and sample `f`, recording the statistics.
     pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
         // Warmup: run until the warmup budget elapses, counting iters to
@@ -152,6 +178,7 @@ impl Harness {
         }
         let mut bencher = Bencher {
             config: self.config,
+            items_per_iter: None,
             result: None,
         };
         {
@@ -162,22 +189,29 @@ impl Harness {
             .result
             .expect("benchmark closure must call Bencher::iter");
         ema_obs::recorder().set_gauge(&format!("bench_median_ns.{}.{name}", self.suite), median_ns);
-        println!(
-            "{:<40} median {:>12} /iter  (min {}, {} samples × {} iters)",
-            name,
-            format_ns(median_ns),
-            format_ns(min_ns),
-            self.config.samples,
-            iters,
-        );
-        self.results.push(BenchResult {
+        let result = BenchResult {
             name: name.to_string(),
             median_ns,
             min_ns,
             mean_ns,
             samples: self.config.samples,
             iters_per_sample: iters,
-        });
+            items_per_iter: bencher.items_per_iter,
+        };
+        let throughput = result
+            .throughput_per_sec()
+            .map(|tp| format!("  ({tp:.2} items/s)"))
+            .unwrap_or_default();
+        println!(
+            "{:<40} median {:>12} /iter{}  (min {}, {} samples × {} iters)",
+            name,
+            format_ns(median_ns),
+            throughput,
+            format_ns(min_ns),
+            self.config.samples,
+            iters,
+        );
+        self.results.push(result);
     }
 
     /// Prints the footer and writes `results/BENCH_<suite>.json`.
@@ -222,6 +256,7 @@ mod tests {
                 sample_ms: 0.05,
                 warmup_ms: 0.05,
             },
+            items_per_iter: None,
             result: None,
         };
         bencher.iter(|| std::hint::black_box(42u64.wrapping_mul(7)));
@@ -240,13 +275,33 @@ mod tests {
             mean_ns: 1250.0,
             samples: 15,
             iters_per_sample: 1000,
+            items_per_iter: None,
         };
         let v = r.to_json_value();
         assert_eq!(v.require("name").unwrap().to_str().unwrap(), "matmul");
         assert_eq!(v.require("median_ns").unwrap().to_f64().unwrap(), 1234.5);
+        // Timing-only benchmarks carry no throughput members.
+        assert!(v.require("throughput_per_sec").is_err());
         // Round trip through the writer/parser.
         let parsed = Json::parse(&v.pretty()).unwrap();
         assert_eq!(parsed.require("samples").unwrap().to_usize().unwrap(), 15);
+    }
+
+    #[test]
+    fn throughput_derives_from_items_and_median() {
+        let r = BenchResult {
+            name: "cohort".into(),
+            median_ns: 2e9, // 2 s per iteration
+            min_ns: 1.9e9,
+            mean_ns: 2.1e9,
+            samples: 5,
+            iters_per_sample: 1,
+            items_per_iter: Some(10.0),
+        };
+        assert_eq!(r.throughput_per_sec(), Some(5.0));
+        let v = r.to_json_value();
+        assert_eq!(v.require("items_per_iter").unwrap().to_f64().unwrap(), 10.0);
+        assert_eq!(v.require("throughput_per_sec").unwrap().to_f64().unwrap(), 5.0);
     }
 
     #[test]

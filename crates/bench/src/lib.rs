@@ -19,6 +19,11 @@
 //! (the paper's N=100/V=26/300-epoch setting; hours of CPU). Each binary
 //! prints the regenerated artifact next to the paper's reference values
 //! and writes a JSON record under `results/`.
+//!
+//! Every binary also accepts `--threads N`, which sets the cohort
+//! executor's worker count (default: `EMA_THREADS`, then available
+//! parallelism). Results JSON is byte-identical at every thread count;
+//! the flag only changes wall-clock time.
 
 #![warn(missing_docs)]
 
@@ -52,6 +57,35 @@ pub fn scale_from_args() -> ExperimentScale {
         "full" => ExperimentScale::full(),
         other => panic!("unknown scale {other:?}; use tiny | quick | full"),
     }
+}
+
+/// Parses `--threads N` from the CLI args and installs it as the
+/// process-wide cohort thread count ([`ema_core::exec`]). Without the
+/// flag the `EMA_THREADS` env knob (then available parallelism)
+/// applies. Returns the effective count either way; results are
+/// byte-identical at any value.
+///
+/// # Panics
+/// Panics with usage help when the value is missing or not a positive
+/// integer.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--threads" {
+            let raw = iter
+                .next()
+                .expect("--threads requires a positive integer value");
+            let n: usize = raw
+                .parse()
+                .ok()
+                .filter(|n| *n >= 1)
+                .unwrap_or_else(|| panic!("--threads expects a positive integer, got {raw:?}"));
+            ema_core::exec::set_global_threads(n);
+            return n;
+        }
+    }
+    ema_core::exec::default_threads()
 }
 
 /// Human-readable description of a scale, for run records.

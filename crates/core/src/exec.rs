@@ -1,0 +1,400 @@
+//! The cohort execution engine.
+//!
+//! The paper's workload is embarrassingly parallel — one personalized
+//! model per individual, trained independently (Eq. 1 averages
+//! per-individual MSE) — so a cohort run is a list of independent
+//! [`Job`]s, not a hand-rolled `for` loop. An [`Executor`] schedules
+//! those jobs on one of two zero-dependency backends:
+//!
+//! * [`Backend::Sequential`] — jobs run in order on the caller's
+//!   thread;
+//! * [`Backend::ThreadPool`] — a `std::thread::scope` work queue with a
+//!   fixed worker count.
+//!
+//! Results always come back **in job order**, and every random stream a
+//! job consumes is derived up front from `(run seed, job id)` via
+//! [`ema_tensor::derive_stream_seed`] — never from sequential draw
+//! order — so output JSON is byte-identical at every thread count
+//! (enforced by `tests/determinism.rs`).
+//!
+//! ## Choosing the worker count
+//!
+//! Precedence, highest first:
+//!
+//! 1. an explicit [`Executor::with_threads`] at the call site;
+//! 2. [`set_global_threads`] — set once from a `--threads N` CLI flag;
+//! 3. the `EMA_THREADS` environment variable;
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! ## Panic isolation
+//!
+//! A panicking job is caught on its worker, reported as a
+//! [`JobError`] carrying the job label and panic message, and the pool
+//! survives to drain the rest of the queue. Callers that want the old
+//! fail-fast behavior use [`expect_all`], which re-raises the first
+//! failure with its label attached.
+//!
+//! ## Telemetry
+//!
+//! Each job runs inside an [`ema_obs`] worker scope: its span tree is
+//! tagged with a `worker` id and buffered per worker, flushing through
+//! the recorder in one batch when the job finishes, so the JSONL
+//! manifest stays parseable and each job's events stay contiguous even
+//! with many workers interleaving.
+
+use ema_obs::span;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One schedulable unit of work: a label (for telemetry and panic
+/// reports) plus the closure that produces the result.
+pub struct Job<'a, T> {
+    label: String,
+    task: Box<dyn FnOnce() -> T + Send + 'a>,
+}
+
+impl<'a, T> Job<'a, T> {
+    /// Wraps a closure as a job. The label names the job in obs spans
+    /// and in [`JobError`]s (e.g. `individual_17`).
+    pub fn new(label: impl Into<String>, task: impl FnOnce() -> T + Send + 'a) -> Self {
+        Self { label: label.into(), task: Box::new(task) }
+    }
+
+    /// The job's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A job that panicked: which one, and what the panic said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The failed job's label.
+    pub label: String,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job '{}' panicked: {}", self.label, self.message)
+    }
+}
+
+/// What one job produced: its output, or the panic that killed it.
+pub type JobResult<T> = Result<T, JobError>;
+
+/// The two scheduling strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Jobs run in order on the calling thread.
+    Sequential,
+    /// Jobs are pulled from a shared queue by `threads` workers.
+    ThreadPool {
+        /// Worker count (≥ 2; 1 collapses to `Sequential`).
+        threads: usize,
+    },
+}
+
+/// Schedules [`Job`]s on a [`Backend`]; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    backend: Backend,
+}
+
+/// Process-wide `--threads` override; 0 means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker-count override (the `--threads N` CLI
+/// flag lands here). `0` clears the override.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::SeqCst);
+}
+
+/// The process-wide worker-count override, if one is set.
+#[must_use]
+pub fn global_threads() -> Option<usize> {
+    match GLOBAL_THREADS.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Worker count from the environment: the global override, then
+/// `EMA_THREADS`, then available parallelism (see the module docs).
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Some(n) = global_threads() {
+        return n;
+    }
+    if let Ok(raw) = std::env::var("EMA_THREADS") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("warning: invalid EMA_THREADS={raw:?}; using available parallelism"),
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+impl Executor {
+    /// An executor that runs jobs in order on the calling thread.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self { backend: Backend::Sequential }
+    }
+
+    /// An executor with exactly `threads` workers (1 collapses to the
+    /// sequential backend — same results either way).
+    ///
+    /// # Panics
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "an executor needs at least one thread");
+        if threads == 1 {
+            Self::sequential()
+        } else {
+            Self { backend: Backend::ThreadPool { threads } }
+        }
+    }
+
+    /// The environment-configured executor ([`default_threads`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// The configured worker count (1 for the sequential backend).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self.backend {
+            Backend::Sequential => 1,
+            Backend::ThreadPool { threads } => threads,
+        }
+    }
+
+    /// The scheduling strategy in use.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Runs every job and returns the results **in job order**. A
+    /// panicking job becomes a [`JobError`] in its slot; the remaining
+    /// jobs still run.
+    pub fn run<T: Send>(&self, jobs: Vec<Job<'_, T>>) -> Vec<JobResult<T>> {
+        match self.backend {
+            Backend::Sequential => {
+                jobs.into_iter().map(|job| execute_job(job, 0)).collect()
+            }
+            Backend::ThreadPool { threads } => run_pool(jobs, threads),
+        }
+    }
+
+    /// Fans `f` out over `0..count` as jobs labelled
+    /// `<label>_<index>`, returning results in index order.
+    pub fn map<T, F>(&self, count: usize, label: &str, f: F) -> Vec<JobResult<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        let f = &f;
+        self.run(
+            (0..count)
+                .map(|i| Job::new(format!("{label}_{i}"), move || f(i)))
+                .collect(),
+        )
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Unwraps a result batch, panicking with the label and message of the
+/// first failed job — the fail-fast path the pipeline uses.
+///
+/// # Panics
+/// Panics if any job failed.
+pub fn expect_all<T>(results: Vec<JobResult<T>>, what: &str) -> Vec<T> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("{what}: {e}"),
+        })
+        .collect()
+}
+
+/// Runs one job under a worker scope, converting a panic into a
+/// [`JobError`].
+fn execute_job<T>(job: Job<'_, T>, worker: usize) -> JobResult<T> {
+    let Job { label, task } = job;
+    let _worker_scope = ema_obs::recorder().worker_scope(worker);
+    let _job_span = span!("job", label = label.as_str(), worker = worker);
+    match catch_unwind(AssertUnwindSafe(task)) {
+        Ok(value) => Ok(value),
+        Err(payload) => Err(JobError { label, message: panic_message(payload.as_ref()) }),
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Poison-tolerant lock: a caught job panic must never wedge the pool.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The thread-pool backend: a shared index queue over scoped threads.
+fn run_pool<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<JobResult<T>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n);
+    // Each job sits in its own slot so a worker takes ownership without
+    // contending on one queue lock for the whole run.
+    let queue: Vec<Mutex<Option<Job<'_, T>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<JobResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = lock(&queue[i]).take().expect("each job is taken exactly once");
+                let result = execute_job(job, worker);
+                *lock(&slots[i]) = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            lock(&slot).take().expect("every job slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs_squaring(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n).map(|i| Job::new(format!("sq_{i}"), move || i * i)).collect()
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let out = Executor::sequential().run(jobs_squaring(5));
+        let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn pool_preserves_order_at_any_thread_count() {
+        for threads in [2, 3, 8] {
+            let out = Executor::with_threads(threads).run(jobs_squaring(17));
+            let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+            assert_eq!(values, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(Executor::sequential().run(Vec::<Job<'_, ()>>::new()).is_empty());
+        assert!(Executor::with_threads(4).run(Vec::<Job<'_, ()>>::new()).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let out = Executor::with_threads(16).run(jobs_squaring(3));
+        let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn panicking_job_reports_error_and_pool_drains_queue() {
+        let jobs: Vec<Job<'_, usize>> = (0..12)
+            .map(|i| {
+                Job::new(format!("j{i}"), move || {
+                    assert!(i != 5, "job five exploded");
+                    i
+                })
+            })
+            .collect();
+        let out = Executor::with_threads(3).run(jobs);
+        assert_eq!(out.len(), 12);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.label, "j5");
+                assert!(err.message.contains("job five exploded"), "{}", err.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_backend_also_isolates_panics() {
+        let jobs: Vec<Job<'_, ()>> =
+            vec![Job::new("boom", || panic!("kapow")), Job::new("ok", || ())];
+        let out = Executor::sequential().run(jobs);
+        assert!(out[0].is_err());
+        assert!(out[1].is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort: job 'boom' panicked: kapow")]
+    fn expect_all_propagates_with_label() {
+        let out = Executor::sequential().run(vec![Job::new("boom", || -> () { panic!("kapow") })]);
+        let _ = expect_all(out, "cohort");
+    }
+
+    #[test]
+    fn map_labels_by_index() {
+        let out = Executor::with_threads(2).map(4, "ind", |i| i + 10);
+        let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn single_thread_collapses_to_sequential() {
+        assert_eq!(Executor::with_threads(1).backend(), Backend::Sequential);
+        assert_eq!(Executor::with_threads(1).threads(), 1);
+        assert_eq!(Executor::with_threads(6).threads(), 6);
+    }
+
+    #[test]
+    fn borrowed_data_flows_into_jobs() {
+        // Jobs may borrow from the caller (the pipeline borrows the
+        // dataset); the scoped pool makes the lifetime work.
+        let data = vec![1.0_f64, 2.0, 4.0];
+        let data = &data;
+        let out = Executor::with_threads(2).map(3, "borrow", |i| data[i] * 2.0);
+        let values: Vec<f64> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![2.0, 4.0, 8.0]);
+    }
+}

@@ -3,6 +3,7 @@
 
 use super::ExperimentScale;
 use crate::evaluate::{persistence_mse, zero_prediction_mse};
+use crate::exec::{expect_all, Executor, Job};
 use crate::pipeline::{run_cohort, GraphSpec, RunSpec};
 use crate::results::{CellStat, ResultTable};
 use ema_data::{make_test_windows, split_train_test};
@@ -37,15 +38,23 @@ pub fn run_ablation(scale: &ExperimentScale) -> ResultTable {
         vec!["MSE".into()],
     );
 
-    // Trivial baselines, evaluated per individual on the same split.
-    let mut persist = Vec::new();
-    let mut zeros = Vec::new();
-    for ind in &dataset.individuals {
-        let (train, test) = split_train_test(&ind.data, 0.7);
-        let w = make_test_windows(&train, &test, SEQ_LEN);
-        persist.push(persistence_mse(&w));
-        zeros.push(zero_prediction_mse(&w));
-    }
+    // Trivial baselines, evaluated per individual on the same split —
+    // one executor job per individual, like every cohort pass.
+    let jobs: Vec<Job<'_, (f64, f64)>> = dataset
+        .individuals
+        .iter()
+        .map(|ind| {
+            Job::new(format!("baseline_individual_{}", ind.id), move || {
+                let (train, test) = split_train_test(&ind.data, 0.7);
+                let w = make_test_windows(&train, &test, SEQ_LEN);
+                (persistence_mse(&w), zero_prediction_mse(&w))
+            })
+        })
+        .collect();
+    let (persist, zeros): (Vec<f64>, Vec<f64>) =
+        expect_all(Executor::from_env().run(jobs), "ablation baselines")
+            .into_iter()
+            .unzip();
     table.push_row("Persistence (x_t = x_{t-1})", vec![CellStat::from_samples(&persist)]);
     table.push_row("ZeroPrediction (mean)", vec![CellStat::from_samples(&zeros)]);
 

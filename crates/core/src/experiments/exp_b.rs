@@ -58,7 +58,12 @@ pub fn run_experiment_b(scale: &ExperimentScale) -> ResultTable {
             .map(|&gdt| {
                 let mut samples = Vec::new();
                 for rep in 0..scale.random_repeats {
-                    let metric = GraphMetric::Random(scale.data_seed ^ (rep as u64 + 1));
+                    // Stream-derived repeat seeds: a pure function of
+                    // (data seed, repeat), independent of loop order.
+                    let metric = GraphMetric::Random(ema_tensor::derive_stream_seed(
+                        scale.data_seed,
+                        rep as u64 + 1,
+                    ));
                     let spec = scale.spec(model, GraphSpec::Static { metric, gdt }, SEQ_LEN);
                     let outcomes = run_cohort(&dataset, &spec);
                     samples.extend(outcomes.iter().map(|o| o.mse));

@@ -7,6 +7,7 @@
 //! [`Fig3Entry::pct_change`].
 
 use super::ExperimentScale;
+use crate::exec::{expect_all, Executor, Job};
 use crate::json::{Json, JsonError};
 use crate::pipeline::{run_cohort, GraphSpec, RunSpec};
 use crate::results::{mean_relative_change_percent, BoxplotStats};
@@ -179,17 +180,25 @@ pub fn run_experiment_c(scale: &ExperimentScale) -> Fig3Results {
                 .collect();
 
             // Learned condition: each individual gets its own learned
-            // graph, so run individuals one by one.
-            let mut learned_mses = Vec::with_capacity(dataset.individuals.len());
-            for (ind, outcome) in dataset.individuals.iter().zip(mtgnn_outcomes.iter()) {
-                let learned = outcome
-                    .learned_graph
-                    .clone()
-                    .expect("MTGNN produces learned graphs");
-                let spec = scale.spec(model, GraphSpec::Provided(learned), SEQ_LEN);
-                let res = crate::pipeline::run_individual(ind.id, &ind.data, &spec);
-                learned_mses.push(res.mse);
-            }
+            // graph, so each (individual, graph) pair is one executor
+            // job rather than a hand-rolled loop.
+            let jobs: Vec<Job<'_, f64>> = dataset
+                .individuals
+                .iter()
+                .zip(mtgnn_outcomes.iter())
+                .map(|(ind, outcome)| {
+                    let learned = outcome
+                        .learned_graph
+                        .clone()
+                        .expect("MTGNN produces learned graphs");
+                    let spec = scale.spec(model, GraphSpec::Provided(learned), SEQ_LEN);
+                    Job::new(format!("learned_individual_{}", ind.id), move || {
+                        crate::pipeline::run_individual(ind.id, &ind.data, &spec).mse
+                    })
+                })
+                .collect();
+            let learned_mses =
+                expect_all(Executor::from_env().run(jobs), "exp_c learned condition");
 
             entries.push(Fig3Entry {
                 model: model.label().into(),

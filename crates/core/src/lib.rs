@@ -14,6 +14,12 @@
 //!    (Table II), graph structure & sparsity (Table III), and static vs
 //!    MTGNN-learned graphs (Fig. 3), plus ablations.
 //!
+//! Cohorts are embarrassingly parallel (one personalized model per
+//! individual), so step 3 is scheduled by the [`exec`] cohort execution
+//! engine — a zero-dependency thread pool sized by `--threads` /
+//! `EMA_THREADS` — with per-individual random streams split from the
+//! run seed so results are byte-identical at every thread count.
+//!
 //! The pipeline is instrumented end to end with [`ema_obs`] telemetry:
 //! per-individual/per-condition spans, per-epoch `train_epoch` events
 //! (loss, gradient norm) and early-stop decisions, controlled by
@@ -32,6 +38,7 @@
 
 pub mod checkpoint;
 pub mod evaluate;
+pub mod exec;
 pub mod experiments;
 pub mod forecast;
 pub mod json;
@@ -41,9 +48,13 @@ pub mod results;
 pub mod train;
 
 pub use checkpoint::Checkpoint;
+pub use exec::{Backend, Executor, Job, JobError, JobResult};
 pub use forecast::{horizon_mse, iterative_forecast};
 pub use json::{Json, JsonError};
 pub use metrics::{compute_metrics, evaluate_metrics, ForecastMetrics};
-pub use pipeline::{graph_for_individual, run_individual, GraphSpec, IndividualOutcome, RunSpec};
+pub use pipeline::{
+    graph_for_individual, run_cohort, run_cohort_with, run_individual, GraphSpec,
+    IndividualOutcome, RunSpec,
+};
 pub use results::{BoxplotStats, CellStat, ResultTable};
 pub use train::{train_model, TrainConfig, TrainReport};

@@ -1,7 +1,8 @@
 //! The personalized per-individual pipeline and its parallel cohort
-//! runner.
+//! runner (scheduled by the [`crate::exec`] cohort execution engine).
 
 use crate::evaluate::{evaluate_mse, evaluate_per_variable_mse};
+use crate::exec::{expect_all, Executor, Job};
 use crate::train::{train_model, TrainConfig};
 use ema_data::{make_test_windows, make_windows, split_train_test, EmaDataset};
 use ema_graph::sparsify::{sparsify, DensityThreshold};
@@ -183,9 +184,11 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
     let train_windows = make_windows(&train, spec.seq_len);
     let test_windows = make_test_windows(&train, &test, spec.seq_len);
 
-    // Per-individual dropout stream: deterministic but distinct.
+    // Per-individual dropout stream: derived from (run seed, id) up
+    // front — never from draw order — so results are identical at any
+    // thread count (see the seeding scheme in ema_tensor::random).
     let mut train_config = spec.train_config;
-    train_config.seed = spec.train_config.seed.wrapping_add(id as u64);
+    train_config.seed = ema_tensor::derive_stream_seed(spec.train_config.seed, id as u64);
     let report = {
         let _train_span = span!("train", individual = id, windows = train_windows.len());
         train_model(&mut *model, &train_windows, &train_config)
@@ -222,47 +225,49 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
     }
 }
 
-/// Runs a condition across a whole cohort in parallel (one thread per
-/// individual, bounded by available parallelism). Results are returned
-/// in individual order.
+/// Runs a condition across a whole cohort on the environment-configured
+/// executor (`--threads` / `EMA_THREADS`, default = available
+/// parallelism). Results are returned in individual order and are
+/// byte-identical at every thread count.
 #[must_use]
 pub fn run_cohort(dataset: &EmaDataset, spec: &RunSpec) -> Vec<IndividualOutcome> {
+    run_cohort_with(dataset, spec, &Executor::from_env())
+}
+
+/// [`run_cohort`] on an explicit executor (tests pin thread counts;
+/// binaries pass the CLI-configured one).
+///
+/// Each individual becomes one [`Job`] — split → graph construction →
+/// windows → train → evaluate, all hoisted into the job body — so the
+/// executor is free to schedule the cohort however its backend likes.
+///
+/// # Panics
+/// Propagates the first individual's panic (with its job label) after
+/// the whole queue has drained.
+#[must_use]
+pub fn run_cohort_with(
+    dataset: &EmaDataset,
+    spec: &RunSpec,
+    executor: &Executor,
+) -> Vec<IndividualOutcome> {
     let _cohort_span = span!(
         "cohort",
         model = spec.model.label(),
         graph = spec.graph.label(),
         seq_len = spec.seq_len,
-        individuals = dataset.individuals.len()
+        individuals = dataset.individuals.len(),
+        threads = executor.threads()
     );
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(dataset.individuals.len())
-        .max(1);
-
-    let mut outcomes: Vec<Option<IndividualOutcome>> =
-        (0..dataset.individuals.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut outcomes);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= dataset.individuals.len() {
-                    break;
-                }
-                let ind = &dataset.individuals[i];
-                let outcome = run_individual(ind.id, &ind.data, spec);
-                slots.lock().expect("no poisoned lock")[i] = Some(outcome);
-            });
-        }
-    });
-
-    outcomes
-        .into_iter()
-        .map(|o| o.expect("every slot filled"))
-        .collect()
+    let jobs: Vec<Job<'_, IndividualOutcome>> = dataset
+        .individuals
+        .iter()
+        .map(|ind| {
+            Job::new(format!("individual_{}", ind.id), move || {
+                run_individual(ind.id, &ind.data, spec)
+            })
+        })
+        .collect();
+    expect_all(executor.run(jobs), "cohort")
 }
 
 #[cfg(test)]
@@ -348,8 +353,19 @@ mod tests {
     }
 
     #[test]
-    fn provided_graph_is_used_verbatim(
-    ) {
+    fn cohort_results_identical_across_backends() {
+        let ds = dataset();
+        let spec = quick_spec(ModelKind::Lstm, GraphSpec::None);
+        let mse = |executor: &Executor| -> Vec<f64> {
+            run_cohort_with(&ds, &spec, executor).iter().map(|o| o.mse).collect()
+        };
+        let sequential = mse(&Executor::sequential());
+        assert_eq!(sequential, mse(&Executor::with_threads(2)));
+        assert_eq!(sequential, mse(&Executor::with_threads(7)));
+    }
+
+    #[test]
+    fn provided_graph_is_used_verbatim() {
         let ds = dataset();
         let g = AdjacencyMatrix::complete(6);
         let spec = quick_spec(ModelKind::A3tgcn, GraphSpec::Provided(g.clone()));

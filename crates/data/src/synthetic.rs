@@ -124,10 +124,13 @@ impl EmaGenerator {
     /// Generates the full study.
     #[must_use]
     pub fn generate(&self) -> EmaDataset {
-        let mut master = Rng64::seed_from(self.config.seed);
+        // Each individual's stream is split off from (seed, id) — not
+        // forked in draw order — so generation could itself be fanned
+        // out per individual without changing a byte of the study.
+        let master = Rng64::seed_from(self.config.seed);
         let individuals = (0..self.config.num_individuals)
             .map(|id| {
-                let mut rng = master.fork();
+                let mut rng = master.split(id as u64);
                 self.generate_individual(id, &mut rng)
             })
             .collect();

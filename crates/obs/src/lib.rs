@@ -43,4 +43,4 @@ pub mod trace;
 pub use json::{write_f64, Json, JsonError};
 pub use manifest::default_obs_dir;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use trace::{mode, recorder, set_mode, ObsMode, Recorder, SpanGuard};
+pub use trace::{mode, recorder, set_mode, ObsMode, Recorder, SpanGuard, WorkerScope};

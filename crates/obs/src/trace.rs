@@ -132,6 +132,17 @@ pub struct Recorder {
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
     static THREAD_ID: Cell<Option<usize>> = const { Cell::new(None) };
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+    static WORKER_BUF: std::cell::RefCell<Option<WorkerBuffer>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Events buffered on a worker thread while a [`WorkerScope`] is open.
+/// Keyed to one recorder so a private test recorder on the same thread
+/// never gets its events rerouted into the scope's recorder.
+struct WorkerBuffer {
+    rec: *const Recorder,
+    events: Vec<(String, Json)>,
 }
 
 static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
@@ -203,6 +214,22 @@ impl Recorder {
     }
 
     fn emit(&self, name: &str, event: Json) {
+        // Inside a worker scope, events park in the thread-local buffer
+        // and reach the shared sink in one batch when the scope closes —
+        // concurrent individuals' span trees stay contiguous in the
+        // JSONL instead of interleaving line by line.
+        let event = match WORKER_BUF.with(|b| {
+            if let Some(buf) = b.borrow_mut().as_mut() {
+                if std::ptr::eq(buf.rec, self) {
+                    buf.events.push((name.to_string(), event));
+                    return None;
+                }
+            }
+            Some(event)
+        }) {
+            Some(event) => event,
+            None => return,
+        };
         let mut inner = self.lock();
         *inner.event_counts.entry(name.to_string()).or_insert(0) += 1;
         inner.sink.write(&event);
@@ -223,17 +250,18 @@ impl Recorder {
         });
         let thread = thread_id();
         let start_ns = self.elapsed_ns();
-        self.emit(
-            name,
-            Json::obj(vec![
-                ("ev", Json::from("enter")),
-                ("span", Json::from(name)),
-                ("t_ns", Json::from(start_ns)),
-                ("thread", Json::from(thread)),
-                ("depth", Json::from(depth)),
-                ("fields", Json::obj(fields)),
-            ]),
-        );
+        let mut entry = vec![
+            ("ev", Json::from("enter")),
+            ("span", Json::from(name)),
+            ("t_ns", Json::from(start_ns)),
+            ("thread", Json::from(thread)),
+            ("depth", Json::from(depth)),
+        ];
+        if let Some(worker) = WORKER.with(Cell::get) {
+            entry.push(("worker", Json::from(worker)));
+        }
+        entry.push(("fields", Json::obj(fields)));
+        self.emit(name, Json::obj(entry));
         SpanGuard { rec: Some(self), name: name.to_string(), start_ns, depth, thread }
     }
 
@@ -243,14 +271,17 @@ impl Recorder {
         if self.mode() == ObsMode::Off {
             return;
         }
-        let event = Json::obj(vec![
+        let mut entry = vec![
             ("ev", Json::from("point")),
             ("name", Json::from(name)),
             ("t_ns", Json::from(self.elapsed_ns())),
             ("thread", Json::from(thread_id())),
-            ("fields", Json::obj(fields)),
-        ]);
-        self.emit(name, event);
+        ];
+        if let Some(worker) = WORKER.with(Cell::get) {
+            entry.push(("worker", Json::from(worker)));
+        }
+        entry.push(("fields", Json::obj(fields)));
+        self.emit(name, Json::obj(entry));
     }
 
     /// Adds `by` to the named counter (no-op in `Off` mode).
@@ -313,17 +344,69 @@ impl Drop for SpanGuard<'_> {
         let Some(rec) = self.rec else { return };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let now = rec.elapsed_ns();
-        rec.emit(
-            &self.name,
-            Json::obj(vec![
-                ("ev", Json::from("exit")),
-                ("span", Json::from(self.name.as_str())),
-                ("t_ns", Json::from(now)),
-                ("thread", Json::from(self.thread)),
-                ("depth", Json::from(self.depth)),
-                ("dur_ns", Json::from(now.saturating_sub(self.start_ns))),
-            ]),
-        );
+        let mut entry = vec![
+            ("ev", Json::from("exit")),
+            ("span", Json::from(self.name.as_str())),
+            ("t_ns", Json::from(now)),
+            ("thread", Json::from(self.thread)),
+            ("depth", Json::from(self.depth)),
+        ];
+        if let Some(worker) = WORKER.with(Cell::get) {
+            entry.push(("worker", Json::from(worker)));
+        }
+        entry.push(("dur_ns", Json::from(now.saturating_sub(self.start_ns))));
+        rec.emit(&self.name, Json::obj(entry));
+    }
+}
+
+/// RAII marker for "this thread is executor worker `w`, running one
+/// job". While the scope is open, every event this recorder emits on
+/// the thread carries a `worker` field and is buffered thread-locally;
+/// dropping the scope flushes the batch through the recorder in one
+/// locked section, so a job's span tree lands contiguously (and each
+/// JSONL line stays well-formed) however many workers run concurrently.
+///
+/// Scopes do not nest — opening a second scope on the same thread
+/// flushes nothing by itself but replaces the buffer, so the executor
+/// opens exactly one per job.
+pub struct WorkerScope<'a> {
+    rec: &'a Recorder,
+    prev_worker: Option<usize>,
+    active: bool,
+}
+
+impl Recorder {
+    /// Opens a worker scope for `worker` on the current thread (inert
+    /// in `Off` mode). See [`WorkerScope`].
+    #[must_use]
+    pub fn worker_scope(&self, worker: usize) -> WorkerScope<'_> {
+        if self.mode() == ObsMode::Off {
+            return WorkerScope { rec: self, prev_worker: None, active: false };
+        }
+        let prev_worker = WORKER.with(|w| w.replace(Some(worker)));
+        WORKER_BUF.with(|b| {
+            *b.borrow_mut() = Some(WorkerBuffer { rec: self, events: Vec::new() });
+        });
+        WorkerScope { rec: self, prev_worker, active: true }
+    }
+}
+
+impl Drop for WorkerScope<'_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        WORKER.with(|w| w.set(self.prev_worker));
+        let buffer = WORKER_BUF.with(|b| b.borrow_mut().take());
+        let Some(buffer) = buffer else { return };
+        if !std::ptr::eq(buffer.rec, self.rec) {
+            return; // replaced by a newer scope; nothing of ours left
+        }
+        let mut inner = self.rec.lock();
+        for (name, event) in buffer.events {
+            *inner.event_counts.entry(name).or_insert(0) += 1;
+            inner.sink.write(&event);
+        }
     }
 }
 
@@ -437,6 +520,77 @@ mod tests {
         let snap = rec.metrics_snapshot();
         let counters = snap.require("counters").unwrap();
         assert_eq!(counters.require("iterations").unwrap().to_usize().unwrap(), 100);
+    }
+
+    #[test]
+    fn worker_scope_tags_and_batches_events() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        {
+            let _w = rec.worker_scope(3);
+            let _s = rec.span("job", vec![]);
+            rec.point("inside", vec![]);
+            // Buffered: nothing reaches the sink or counts yet.
+            assert_eq!(rec.event_count("job"), 0);
+        }
+        let events = rec.drain_events();
+        assert_eq!(events.len(), 3); // enter, point, exit
+        for e in &events {
+            assert_eq!(e.require("worker").unwrap().to_usize().unwrap(), 3);
+        }
+        assert_eq!(rec.event_count("job"), 2);
+        assert_eq!(rec.event_count("inside"), 1);
+    }
+
+    #[test]
+    fn worker_scopes_keep_concurrent_jobs_contiguous() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        std::thread::scope(|scope| {
+            for w in 0..3usize {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let _ws = rec.worker_scope(w);
+                        let _s = rec.span("job", vec![("w", Json::from(w))]);
+                        rec.point("step", vec![]);
+                    }
+                });
+            }
+        });
+        let events = rec.drain_events();
+        assert_eq!(events.len(), 3 * 5 * 3);
+        // Each flushed batch is contiguous: events arrive in
+        // enter/point/exit triples from a single worker.
+        for triple in events.chunks(3) {
+            let workers: Vec<usize> = triple
+                .iter()
+                .map(|e| e.require("worker").unwrap().to_usize().unwrap())
+                .collect();
+            assert_eq!(workers[0], workers[1]);
+            assert_eq!(workers[1], workers[2]);
+            let evs: Vec<&str> = triple
+                .iter()
+                .map(|e| e.require("ev").unwrap().to_str().unwrap())
+                .collect();
+            assert_eq!(evs, ["enter", "point", "exit"]);
+        }
+    }
+
+    #[test]
+    fn worker_scope_is_inert_when_off() {
+        let rec = Recorder::in_memory(ObsMode::Off);
+        {
+            let _w = rec.worker_scope(1);
+            let _s = rec.span("quiet", vec![]);
+        }
+        assert!(rec.drain_events().is_empty());
+    }
+
+    #[test]
+    fn events_without_scope_carry_no_worker_field() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        rec.point("bare", vec![]);
+        let events = rec.drain_events();
+        assert!(events[0].get("worker").is_none());
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod solve;
 mod tensor;
 
 pub use error::TensorError;
-pub use random::Rng64;
+pub use random::{derive_stream_seed, Rng64};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -48,6 +48,24 @@ impl Tensor {
         self.zip(other, |a, b| a + b)
     }
 
+    /// Elementwise sum in place (`self += other`), with no allocation —
+    /// the gradient-accumulation hot path of the backward pass.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op requires matching shapes: {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += b;
+        }
+    }
+
     /// Elementwise difference.
     ///
     /// # Panics

@@ -4,6 +4,32 @@
 //! plus Box–Muller normal sampling, so the workspace needs no external
 //! randomness crate at all. Every experiment in the paper reproduction
 //! is seeded, which makes tables exactly reproducible.
+//!
+//! # Seeding scheme
+//!
+//! The cohort execution engine runs individuals concurrently, so
+//! per-individual randomness must never depend on *draw order* — the
+//! stream an individual sees has to be a pure function of
+//! `(run seed, stream id)`, not of how many draws other individuals
+//! made first. The workspace therefore derives streams in two ways:
+//!
+//! * [`derive_stream_seed`]`(seed, stream)` — a SplitMix64 chain over
+//!   the `(seed, stream)` pair, producing a well-mixed 64-bit child
+//!   seed. This is the scheme for "individual `i` of run `s`":
+//!   `derive_stream_seed(run_seed, individual_id)`. Adjacent stream ids
+//!   give uncorrelated children, and the map is injective enough in
+//!   practice that streams never collide (property-tested for pairwise
+//!   non-overlap in `crates/tensor/tests/properties.rs`).
+//! * [`Rng64::split`]`(stream)` — the same derivation anchored at a
+//!   generator's *construction-time* seed material (its root), so
+//!   splitting is independent of both draw order and split order:
+//!   `rng.split(7)` yields the same stream whether called before or
+//!   after any number of draws or other splits.
+//!
+//! [`Rng64::fork`] remains for call sites that *want* sequential
+//! dependence (a one-off child whose identity doesn't matter); anything
+//! iterated per individual/condition must use `split` or
+//! `derive_stream_seed` so results are identical at every thread count.
 
 use crate::Tensor;
 
@@ -16,6 +42,20 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of child stream `stream` from `seed` — a pure
+/// function of the pair, independent of any generator state. Two
+/// SplitMix64 rounds fold the stream id into the seed so that adjacent
+/// `(seed, stream)` pairs land far apart in seed space.
+#[must_use]
+pub fn derive_stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut sm = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let a = splitmix64(&mut sm);
+    // A second round keyed on the raw stream id breaks the (unlikely)
+    // case where two (seed, stream) pairs collide after one round.
+    let mut sm2 = a.wrapping_add(stream);
+    splitmix64(&mut sm2)
+}
+
 /// A seeded random source for tensor initialisation and data generation.
 ///
 /// The core generator is xoshiro256++ — 256 bits of state, period
@@ -25,6 +65,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct Rng64 {
     state: [u64; 4],
+    /// The seed this generator was constructed from; anchor for
+    /// [`Rng64::split`] so stream derivation ignores draw order.
+    root: u64,
     /// Cached second normal sample from the last Box–Muller pair.
     spare: Option<f64>,
 }
@@ -41,6 +84,7 @@ impl Rng64 {
                 splitmix64(&mut sm),
                 splitmix64(&mut sm),
             ],
+            root: seed,
             spare: None,
         }
     }
@@ -137,9 +181,30 @@ impl Rng64 {
     }
 
     /// Splits off an independent generator seeded from this one, so
-    /// per-individual streams do not interact.
+    /// per-individual streams do not interact. The child depends on how
+    /// many draws preceded the call — for order-independent streams use
+    /// [`Rng64::split`] instead (see the module docs).
     pub fn fork(&mut self) -> Rng64 {
         Rng64::seed_from(self.next_u64())
+    }
+
+    /// Derives the independent child stream `stream` of this generator.
+    ///
+    /// The child is a pure function of `(construction seed, stream)`:
+    /// splitting is unaffected by draws on `self`, by other splits, and
+    /// by the order splits happen in. This is what makes per-individual
+    /// seeding safe under the parallel cohort executor — individual `i`
+    /// sees the same stream at any thread count and schedule.
+    #[must_use]
+    pub fn split(&self, stream: u64) -> Rng64 {
+        Rng64::seed_from(derive_stream_seed(self.root, stream))
+    }
+
+    /// The seed this generator was constructed from (the anchor of
+    /// [`Rng64::split`]).
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.root
     }
 }
 
@@ -258,6 +323,50 @@ mod tests {
         assert!(w.data().iter().all(|v| v.abs() <= bound));
         // Should not be degenerate.
         assert!(w.std() > bound / 4.0);
+    }
+
+    #[test]
+    fn split_ignores_draw_and_split_order() {
+        let mut a = Rng64::seed_from(5);
+        let b = Rng64::seed_from(5);
+        // Disturb `a` with draws and unrelated splits.
+        for _ in 0..100 {
+            let _ = a.next_u64();
+        }
+        let _ = a.split(3);
+        let got: Vec<u64> = {
+            let mut s = a.split(7);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        let want: Vec<u64> = {
+            let mut s = b.split(7);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_streams_differ_from_parent_and_each_other() {
+        let parent = Rng64::seed_from(5);
+        let mut p = parent.clone();
+        let mut c1 = parent.split(0);
+        let mut c2 = parent.split(1);
+        let a: Vec<u64> = (0..8).map(|_| p.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derive_stream_seed_is_stable_and_spreads() {
+        assert_eq!(derive_stream_seed(42, 0), derive_stream_seed(42, 0));
+        // Adjacent ids must not collide or come out sequential.
+        let s0 = derive_stream_seed(42, 0);
+        let s1 = derive_stream_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert!(s0.abs_diff(s1) > 1 << 20, "adjacent streams too close");
     }
 
     #[test]

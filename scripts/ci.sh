@@ -26,6 +26,11 @@ cargo build --offline --workspace --all-targets
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> cargo test (EMA_THREADS=4)"
+# Re-run the suite on a 4-worker cohort executor: results must be
+# byte-identical to the sequential run (the exec engine's guarantee).
+EMA_THREADS=4 cargo test --offline --workspace -q
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

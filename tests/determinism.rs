@@ -6,15 +6,27 @@
 
 use ema_core::checkpoint::Checkpoint;
 use ema_core::experiments::ExperimentScale;
-use ema_core::pipeline::{run_cohort, GraphSpec};
+use ema_core::pipeline::{run_cohort_with, GraphSpec};
+use ema_core::Executor;
 use ema_core::results::{CellStat, ResultTable};
 use ema_graph::sparsify::DensityThreshold;
 use ema_models::ModelKind;
 use ema_similarity::GraphMetric;
+use std::sync::Mutex;
+
+/// Serialises the tests that flip the process-global obs mode; without
+/// it they would race through `set_mode` and `begin_run_in`.
+static OBS_MODE_LOCK: Mutex<()> = Mutex::new(());
 
 /// A seconds-scale slice of the Table II pipeline: one LSTM row and one
 /// graph-model row over a tiny cohort.
 fn tiny_results_json() -> String {
+    tiny_results_json_with(&Executor::from_env())
+}
+
+/// [`tiny_results_json`] on an explicit executor, so tests can pin the
+/// thread count.
+fn tiny_results_json_with(executor: &Executor) -> String {
     let mut scale = ExperimentScale::tiny();
     scale.num_individuals = 2;
     scale.epochs = 3;
@@ -33,7 +45,7 @@ fn tiny_results_json() -> String {
         ),
     ] {
         let spec = scale.spec(model, graph, 2);
-        let outcomes = run_cohort(&dataset, &spec);
+        let outcomes = run_cohort_with(&dataset, &spec, executor);
         let mses: Vec<f64> = outcomes.iter().map(|o| o.mse).collect();
         table.push_row(label, vec![CellStat::from_samples(&mses)]);
     }
@@ -53,6 +65,68 @@ fn same_seed_pipeline_runs_emit_byte_identical_json() {
     assert_eq!(parsed.to_json(), first);
 }
 
+/// The cohort executor's headline guarantee: results JSON is
+/// byte-identical at every thread count, because each individual's
+/// random streams are derived from `(run seed, id)` rather than from
+/// sequential draw order.
+#[test]
+fn thread_count_never_changes_results_json() {
+    let sequential = tiny_results_json_with(&Executor::sequential());
+    let pooled = tiny_results_json_with(&Executor::with_threads(4));
+    assert!(
+        sequential == pooled,
+        "threads=1 vs threads=4 diverged:\n--- threads=1 ---\n{sequential}\n--- threads=4 ---\n{pooled}"
+    );
+}
+
+/// The same invariance with full telemetry streaming: worker-tagged,
+/// per-worker-buffered obs events must not leak into the results, and
+/// the JSONL manifest written by a 4-thread run stays parseable with
+/// every job's span tree tagged by its worker.
+#[test]
+fn thread_count_invariance_holds_under_full_obs() {
+    use ema_core::Json;
+    use ema_obs::{recorder, set_mode, ObsMode};
+    use std::path::Path;
+
+    let _guard = OBS_MODE_LOCK.lock().unwrap();
+    let scratch = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("target/obs-threads-test");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    set_mode(ObsMode::Full);
+    assert!(recorder().begin_run_in("det_threads", Json::Null, &scratch));
+    let sequential = tiny_results_json_with(&Executor::sequential());
+    let pooled = tiny_results_json_with(&Executor::with_threads(4));
+    let summary = recorder().finish_run().expect("summary written");
+    set_mode(ObsMode::from_env());
+
+    assert!(
+        sequential == pooled,
+        "EMA_OBS=full: threads=1 vs threads=4 diverged:\n--- threads=1 ---\n{sequential}\n--- threads=4 ---\n{pooled}"
+    );
+    assert!(summary.exists());
+
+    // Every line of the multi-threaded manifest parses, and the pooled
+    // cohort's job spans carry the worker tag.
+    let text = std::fs::read_to_string(scratch.join("det_threads.jsonl"))
+        .expect("full mode streams JSONL");
+    let mut worker_tagged = 0;
+    for line in text.lines() {
+        let event = Json::parse(line).expect("every JSONL line parses");
+        if event.get("worker").is_some() {
+            worker_tagged += 1;
+        }
+    }
+    assert!(
+        worker_tagged > 0,
+        "multi-threaded runs must emit worker-tagged events"
+    );
+}
+
 /// Obs is observation only: switching `EMA_OBS` between `off` and
 /// `full` must leave the experiment record byte-identical, and `off`
 /// must never touch the filesystem.
@@ -62,6 +136,7 @@ fn obs_modes_never_perturb_results_and_off_writes_nothing() {
     use ema_obs::{recorder, set_mode, ObsMode};
     use std::path::Path;
 
+    let _guard = OBS_MODE_LOCK.lock().unwrap();
     let scratch = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
