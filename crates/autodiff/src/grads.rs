@@ -12,8 +12,18 @@ pub struct Grads {
 }
 
 impl Grads {
-    pub(crate) fn new(grads: Vec<Option<Tensor>>) -> Self {
-        Self { grads }
+    /// An empty gradient workspace for [`crate::Tape::backward_into`].
+    ///
+    /// Create one per training run, reuse it across epochs: the slot
+    /// vector (and, via the tensor pool, the gradient buffers) are
+    /// recycled instead of reallocated every backward pass.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { grads: Vec::new() }
+    }
+
+    pub(crate) fn slots_mut(&mut self) -> &mut Vec<Option<Tensor>> {
+        &mut self.grads
     }
 
     /// The gradient of the loss with respect to `v`, if `v` influenced

@@ -27,6 +27,21 @@ pub enum Op {
     Scale(Var, f64),
     /// Matrix product `[m,k] x [k,n]`.
     Matmul(Var, Var),
+    /// Transpose-aware product `aᵀ·b`: `[k,m]ᵀ x [k,n]`.
+    MatmulTN(Var, Var),
+    /// Transpose-aware product `a·bᵀ`: `[m,k] x [n,k]ᵀ`.
+    MatmulNT(Var, Var),
+    /// Fused linear layer `x·wᵀ + bias` for `x: [n,k]`, `w: [out,k]`,
+    /// `bias: [out]`. Fields: x, w, bias.
+    Addmm(Var, Var, Var),
+    /// Fused LSTM cell step. Fields: pre-activation gates `[n, 4H]`
+    /// (i|f|g|o order) and previous cell state `[n, H]`; the node value
+    /// is `[n, 2H]` holding `[h' | c']`.
+    LstmCell(Var, Var),
+    /// Fused GRU cell step. Fields: input-side and hidden-side gate
+    /// pre-activations (both `[n, 3H]`, r|z|n order) and previous
+    /// hidden state `[n, H]`; the node value is the new hidden state.
+    GruCell(Var, Var, Var),
     /// Matrix transpose.
     Transpose(Var),
     /// Elementwise `tanh`.
@@ -76,10 +91,14 @@ impl Op {
             | Op::Mul(a, b)
             | Op::Div(a, b)
             | Op::Matmul(a, b)
+            | Op::MatmulTN(a, b)
+            | Op::MatmulNT(a, b)
+            | Op::LstmCell(a, b)
             | Op::AddRowBroadcast(a, b)
             | Op::MulRowBroadcast(a, b)
             | Op::HCat(a, b)
             | Op::VCat(a, b) => vec![*a, *b],
+            Op::Addmm(a, b, c) | Op::GruCell(a, b, c) => vec![*a, *b, *c],
             Op::AddScalar(a, _)
             | Op::Scale(a, _)
             | Op::Transpose(a)

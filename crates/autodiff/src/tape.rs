@@ -34,8 +34,9 @@ pub(crate) struct Node {
 /// A reverse-mode autodiff tape.
 ///
 /// Operations are methods taking `&self`; interior mutability keeps call
-/// sites clean. A tape grows monotonically — build a fresh one per
-/// training step (the models do) rather than clearing.
+/// sites clean. A tape grows monotonically within one step; training
+/// loops call [`Tape::reset`] between steps to reuse the node storage
+/// (and, through the tensor pool, the value buffers) epoch after epoch.
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
 }
@@ -53,6 +54,17 @@ impl Tape {
         Self {
             nodes: RefCell::new(Vec::with_capacity(1024)),
         }
+    }
+
+    /// Clears all recorded nodes while keeping the node storage's
+    /// capacity. Dropped node values return their buffers to the tensor
+    /// pool, so the next step's forward pass re-uses them — the
+    /// epoch-persistent-workspace half of the allocation-free hot path.
+    ///
+    /// All `Var` handles from before the reset become invalid; rebind
+    /// parameters afterwards.
+    pub fn reset(&mut self) {
+        self.nodes.get_mut().clear();
     }
 
     /// Number of nodes recorded so far.
@@ -94,10 +106,22 @@ impl Tape {
     }
 
     /// Applies `f` to the values of `vars` and records the result.
+    ///
+    /// Every tape op routes through here, so the common small arities
+    /// borrow the values through a stack array instead of heap-allocating
+    /// a `Vec` of references per recorded node.
     pub(crate) fn compute<R>(&self, f: impl FnOnce(&[&Tensor]) -> R, vars: &[Var]) -> R {
         let nodes = self.nodes.borrow();
-        let refs: Vec<&Tensor> = vars.iter().map(|v| &nodes[v.0].value).collect();
-        f(&refs)
+        match *vars {
+            [] => f(&[]),
+            [a] => f(&[&nodes[a.0].value]),
+            [a, b] => f(&[&nodes[a.0].value, &nodes[b.0].value]),
+            [a, b, c] => f(&[&nodes[a.0].value, &nodes[b.0].value, &nodes[c.0].value]),
+            _ => {
+                let refs: Vec<&Tensor> = vars.iter().map(|v| &nodes[v.0].value).collect();
+                f(&refs)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -212,6 +236,19 @@ impl Tape {
     /// Panics if `loss` is not scalar-shaped.
     #[must_use]
     pub fn backward(&self, loss: Var) -> Grads {
+        let mut grads = Grads::empty();
+        self.backward_into(loss, &mut grads);
+        grads
+    }
+
+    /// [`Tape::backward`] writing into a caller-owned [`Grads`]
+    /// workspace. Reusing one workspace across epochs keeps the slot
+    /// vector's capacity and recycles last epoch's gradient buffers
+    /// through the tensor pool instead of allocating fresh ones.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar-shaped.
+    pub fn backward_into(&self, loss: Var, out: &mut Grads) {
         let nodes = self.nodes.borrow();
         assert_eq!(
             nodes[loss.0].value.len(),
@@ -219,9 +256,12 @@ impl Tape {
             "backward requires a scalar loss, got shape {:?}",
             nodes[loss.0].value.dims()
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        let grads = out.slots_mut();
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
         grads[loss.0] = Some(Tensor::from_vec1(vec![1.0]));
 
+        let mut contribs: Vec<(Var, Tensor)> = Vec::new();
         for i in (0..=loss.0).rev() {
             // The tape is append-only, so every parent index is < i:
             // node i's gradient can be borrowed while the parents'
@@ -230,8 +270,8 @@ impl Tape {
             let (parents, rest) = grads.split_at_mut(i);
             let Some(g) = rest[0].as_ref() else { continue };
             let node = &nodes[i];
-            let contribs = backward_one(&nodes, &node.op, &node.value, g);
-            for (parent, contrib) in contribs {
+            backward_one(&nodes, &node.op, &node.value, g, &mut contribs);
+            for (parent, contrib) in contribs.drain(..) {
                 debug_assert!(parent.0 < i, "tape parents must precede children");
                 match &mut parents[parent.0] {
                     Some(acc) => acc.add_assign(&contrib),
@@ -239,55 +279,87 @@ impl Tape {
                 }
             }
         }
-        Grads::new(grads)
     }
 }
 
-/// Computes the gradient contributions of one node to its parents.
+/// Computes the gradient contributions of one node to its parents,
+/// appending them to the caller's reusable `contribs` buffer.
 fn backward_one(
     nodes: &[Node],
     op: &Op,
     out_value: &Tensor,
     g: &Tensor,
-) -> Vec<(Var, Tensor)> {
+    contribs: &mut Vec<(Var, Tensor)>,
+) {
     let val = |v: Var| &nodes[v.0].value;
     match *op {
-        Op::Leaf => vec![],
-        Op::Add(a, b) => vec![(a, g.clone()), (b, g.clone())],
-        Op::Sub(a, b) => vec![(a, g.clone()), (b, g.neg())],
-        Op::Mul(a, b) => vec![(a, g.mul(val(b))), (b, g.mul(val(a)))],
+        Op::Leaf => {}
+        Op::Add(a, b) => contribs.extend([(a, g.clone()), (b, g.clone())]),
+        Op::Sub(a, b) => contribs.extend([(a, g.clone()), (b, g.neg())]),
+        Op::Mul(a, b) => contribs.extend([(a, g.mul(val(b))), (b, g.mul(val(a)))]),
         Op::Div(a, b) => {
             let bv = val(b);
             let da = g.div(bv);
             let db = g.mul(val(a)).div(&bv.square()).neg();
-            vec![(a, da), (b, db)]
+            contribs.extend([(a, da), (b, db)]);
         }
-        Op::AddScalar(a, _) => vec![(a, g.clone())],
-        Op::Scale(a, s) => vec![(a, g.scale(s))],
+        Op::AddScalar(a, _) => contribs.push((a, g.clone())),
+        Op::Scale(a, s) => contribs.push((a, g.scale(s))),
         Op::Matmul(a, b) => {
-            let da = g.matmul(&val(b).transpose());
-            let db = val(a).transpose().matmul(g);
-            vec![(a, da), (b, db)]
+            // da = g·bᵀ, db = aᵀ·g via the transpose-aware kernels —
+            // bit-identical to the materialized-transpose formulation
+            // (see the kernel contract in ema_tensor's linalg module)
+            // without allocating either transpose.
+            let da = g.matmul_nt(val(b));
+            let db = val(a).matmul_tn(g);
+            contribs.extend([(a, da), (b, db)]);
         }
-        Op::Transpose(a) => vec![(a, g.transpose())],
+        Op::MatmulTN(a, b) => {
+            // out = aᵀ·b with a:[k,m], b:[k,n], g:[m,n].
+            // da = b·gᵀ : [k,m]; db = a·g : [k,n].
+            let da = val(b).matmul_nt(g);
+            let db = val(a).matmul(g);
+            contribs.extend([(a, da), (b, db)]);
+        }
+        Op::MatmulNT(a, b) => {
+            // out = a·bᵀ with a:[m,k], b:[n,k], g:[m,n].
+            // da = g·b : [m,k]; db = gᵀ·a : [n,k].
+            let da = g.matmul(val(b));
+            let db = g.matmul_tn(val(a));
+            contribs.extend([(a, da), (b, db)]);
+        }
+        Op::Addmm(x, w, bias) => {
+            // out = x·wᵀ + bias with x:[n,k], w:[out,k], g:[n,out].
+            let dx = g.matmul(val(w));
+            let dw = g.matmul_tn(val(x));
+            let dbias = g.col_sums();
+            contribs.extend([(x, dx), (w, dw), (bias, dbias)]);
+        }
+        Op::LstmCell(gates, c_prev) => {
+            lstm_cell_backward(val(gates), val(c_prev), out_value, g, gates, c_prev, contribs);
+        }
+        Op::GruCell(gi, gh, h_prev) => {
+            gru_cell_backward(val(gi), val(gh), val(h_prev), g, gi, gh, h_prev, contribs);
+        }
+        Op::Transpose(a) => contribs.push((a, g.transpose())),
         Op::Tanh(a) => {
             // d tanh = 1 - tanh²; out_value already holds tanh(x).
             let d = out_value.map(|y| 1.0 - y * y);
-            vec![(a, g.mul(&d))]
+            contribs.push((a, g.mul(&d)));
         }
         Op::Sigmoid(a) => {
             let d = out_value.map(|y| y * (1.0 - y));
-            vec![(a, g.mul(&d))]
+            contribs.push((a, g.mul(&d)));
         }
         Op::Relu(a) => {
             let d = val(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-            vec![(a, g.mul(&d))]
+            contribs.push((a, g.mul(&d)));
         }
         Op::LeakyRelu(a, alpha) => {
             let d = val(a).map(|x| if x >= 0.0 { 1.0 } else { alpha });
-            vec![(a, g.mul(&d))]
+            contribs.push((a, g.mul(&d)));
         }
-        Op::Square(a) => vec![(a, g.mul(&val(a).scale(2.0)))],
+        Op::Square(a) => contribs.push((a, g.mul(&val(a).scale(2.0)))),
         Op::SoftmaxLast(a) => {
             // grad_in = s ⊙ (g - <g, s>_row) per row.
             let s = out_value;
@@ -307,47 +379,47 @@ fn backward_one(
                     out.data_mut()[i] = s.data()[i] * (g.data()[i] - dot);
                 }
             }
-            vec![(a, out)]
+            contribs.push((a, out));
         }
         Op::SumAll(a) => {
             let gv = g.data()[0];
-            vec![(a, Tensor::filled(val(a).dims(), gv))]
+            contribs.push((a, Tensor::filled(val(a).dims(), gv)));
         }
         Op::MeanAll(a) => {
             let n = val(a).len() as f64;
             let gv = g.data()[0] / n;
-            vec![(a, Tensor::filled(val(a).dims(), gv))]
+            contribs.push((a, Tensor::filled(val(a).dims(), gv)));
         }
         Op::AddRowBroadcast(m, r) => {
-            vec![(m, g.clone()), (r, g.col_sums())]
+            contribs.extend([(m, g.clone()), (r, g.col_sums())]);
         }
         Op::MulRowBroadcast(m, r) => {
             let dm = g.mul_row_broadcast(val(r));
             let dr = g.mul(val(m)).col_sums();
-            vec![(m, dm), (r, dr)]
+            contribs.extend([(m, dm), (r, dr)]);
         }
         Op::HCat(a, b) => {
             let ca = val(a).dims()[1];
             let total = out_value.dims()[1];
-            vec![
+            contribs.extend([
                 (a, g.slice_cols(0, ca)),
                 (b, g.slice_cols(ca, total)),
-            ]
+            ]);
         }
         Op::VCat(a, b) => {
             let ra = val(a).dims()[0];
             let total = out_value.dims()[0];
-            vec![
+            contribs.extend([
                 (a, g.slice_rows(0, ra)),
                 (b, g.slice_rows(ra, total)),
-            ]
+            ]);
         }
         Op::SliceRows(a, start, end) => {
             let dims = val(a).dims().to_vec();
             let mut da = Tensor::zeros(&dims);
             let n = dims[1];
             da.data_mut()[start * n..end * n].copy_from_slice(g.data());
-            vec![(a, da)]
+            contribs.push((a, da));
         }
         Op::SliceCols(a, start, end) => {
             let dims = val(a).dims().to_vec();
@@ -358,19 +430,118 @@ fn backward_one(
                 da.data_mut()[i * n + start..i * n + end]
                     .copy_from_slice(&g.data()[i * w..(i + 1) * w]);
             }
-            vec![(a, da)]
+            contribs.push((a, da));
         }
         Op::Reshape(a) => {
             let dims = val(a).dims().to_vec();
-            vec![(a, g.reshaped(&dims))]
+            contribs.push((a, g.reshaped(&dims)));
         }
-        Op::Dropout(a, ref mask) => vec![(a, g.mul(mask))],
-        Op::StackRows(ref vars) => vars
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, g.row(i)))
-            .collect(),
+        Op::Dropout(a, ref mask) => contribs.push((a, g.mul(mask))),
+        Op::StackRows(ref vars) => {
+            contribs.extend(vars.iter().enumerate().map(|(i, &v)| (v, g.row(i))));
+        }
     }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Backward pass of the fused LSTM cell step (see [`Op::LstmCell`]).
+///
+/// Activations are recomputed from the stored pre-activations; `c'` is
+/// read back from the node value's second half, so no intermediate
+/// tensors from the forward pass need to be kept.
+#[allow(clippy::too_many_arguments)]
+fn lstm_cell_backward(
+    gates: &Tensor,
+    c_prev: &Tensor,
+    out_value: &Tensor,
+    g: &Tensor,
+    gates_var: Var,
+    c_prev_var: Var,
+    contribs: &mut Vec<(Var, Tensor)>,
+) {
+    let (n, g4) = (gates.dims()[0], gates.dims()[1]);
+    let h = g4 / 4;
+    let gd = gates.data();
+    let cd = c_prev.data();
+    let od = out_value.data();
+    let gg = g.data();
+    let mut d_gates = ema_tensor::pool::take_uninit(n * g4);
+    let mut d_cprev = ema_tensor::pool::take_uninit(n * h);
+    for r in 0..n {
+        for j in 0..h {
+            let i = sigmoid(gd[r * g4 + j]);
+            let f = sigmoid(gd[r * g4 + h + j]);
+            let gt = gd[r * g4 + 2 * h + j].tanh();
+            let o = sigmoid(gd[r * g4 + 3 * h + j]);
+            let c = od[r * 2 * h + h + j];
+            let tc = c.tanh();
+            let gh_ = gg[r * 2 * h + j];
+            let gc_ = gg[r * 2 * h + h + j];
+            let dc = gc_ + gh_ * o * (1.0 - tc * tc);
+            d_gates[r * g4 + j] = dc * gt * i * (1.0 - i);
+            d_gates[r * g4 + h + j] = dc * cd[r * h + j] * f * (1.0 - f);
+            d_gates[r * g4 + 2 * h + j] = dc * i * (1.0 - gt * gt);
+            d_gates[r * g4 + 3 * h + j] = gh_ * tc * o * (1.0 - o);
+            d_cprev[r * h + j] = dc * f;
+        }
+    }
+    let d_gates = Tensor::from_vec(&[n, g4], d_gates).expect("lstm backward gate grads");
+    let d_cprev = Tensor::from_vec(&[n, h], d_cprev).expect("lstm backward cell grads");
+    contribs.extend([(gates_var, d_gates), (c_prev_var, d_cprev)]);
+}
+
+/// Backward pass of the fused GRU cell step (see [`Op::GruCell`]).
+/// The gate activations are cheap to recompute from the stored
+/// pre-activations, so the node value is not needed here.
+#[allow(clippy::too_many_arguments)]
+fn gru_cell_backward(
+    gi: &Tensor,
+    gh: &Tensor,
+    h_prev: &Tensor,
+    g: &Tensor,
+    gi_var: Var,
+    gh_var: Var,
+    h_prev_var: Var,
+    contribs: &mut Vec<(Var, Tensor)>,
+) {
+    let (n, g3) = (gi.dims()[0], gi.dims()[1]);
+    let h = g3 / 3;
+    let gid = gi.data();
+    let ghd = gh.data();
+    let hd = h_prev.data();
+    let gg = g.data();
+    let mut d_gi = ema_tensor::pool::take_uninit(n * g3);
+    let mut d_gh = ema_tensor::pool::take_uninit(n * g3);
+    let mut d_hprev = ema_tensor::pool::take_uninit(n * h);
+    for row in 0..n {
+        for j in 0..h {
+            let r = sigmoid(gid[row * g3 + j] + ghd[row * g3 + j]);
+            let z = sigmoid(gid[row * g3 + h + j] + ghd[row * g3 + h + j]);
+            let gh_n = ghd[row * g3 + 2 * h + j];
+            let nn = (gid[row * g3 + 2 * h + j] + r * gh_n).tanh();
+            let gv = gg[row * h + j];
+            let dn = gv * (1.0 - z);
+            let dz = gv * (hd[row * h + j] - nn);
+            let dn_pre = dn * (1.0 - nn * nn);
+            let dr = dn_pre * gh_n;
+            let dr_pre = dr * r * (1.0 - r);
+            let dz_pre = dz * z * (1.0 - z);
+            d_gi[row * g3 + j] = dr_pre;
+            d_gi[row * g3 + h + j] = dz_pre;
+            d_gi[row * g3 + 2 * h + j] = dn_pre;
+            d_gh[row * g3 + j] = dr_pre;
+            d_gh[row * g3 + h + j] = dz_pre;
+            d_gh[row * g3 + 2 * h + j] = dn_pre * r;
+            d_hprev[row * h + j] = gv * z;
+        }
+    }
+    let d_gi = Tensor::from_vec(&[n, g3], d_gi).expect("gru backward input-gate grads");
+    let d_gh = Tensor::from_vec(&[n, g3], d_gh).expect("gru backward hidden-gate grads");
+    let d_hprev = Tensor::from_vec(&[n, h], d_hprev).expect("gru backward state grads");
+    contribs.extend([(gi_var, d_gi), (gh_var, d_gh), (h_prev_var, d_hprev)]);
 }
 
 #[cfg(test)]

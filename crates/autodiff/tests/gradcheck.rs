@@ -453,6 +453,127 @@ fn grad_dropout_eval_mode_is_identity() {
 }
 
 #[test]
+fn grad_matmul_tn_lhs_and_rhs() {
+    let x = rand(&[4, 3], 65);
+    let other = rand(&[4, 2], 66);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let p = t.matmul_tn(v, o);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&other, TOL, |t, v| {
+        let l = t.leaf(x.clone());
+        let p = t.matmul_tn(l, v);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_nt_lhs_and_rhs() {
+    let x = rand(&[3, 4], 67);
+    let other = rand(&[2, 4], 68);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let p = t.matmul_nt(v, o);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&other, TOL, |t, v| {
+        let l = t.leaf(x.clone());
+        let p = t.matmul_nt(l, v);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_addmm_all_three_parents() {
+    // linear() now records a single fused Addmm node; check its gradient
+    // against finite differences through every parent.
+    let x = rand(&[4, 3], 69);
+    let w = rand(&[5, 3], 70);
+    let b = rand(&[5], 71);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let wl = t.leaf(w.clone());
+        let bl = t.leaf(b.clone());
+        let y = t.linear(v, wl, bl);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&w, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let bl = t.leaf(b.clone());
+        let y = t.linear(xl, v, bl);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&b, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let wl = t.leaf(w.clone());
+        let y = t.linear(xl, wl, v);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_lstm_cell_gates_and_state() {
+    // [n=3, H=2] cell: perturb the pre-activation gates and the carry.
+    let gates = rand(&[3, 8], 72);
+    let c_prev = rand(&[3, 2], 73);
+    let w = rand(&[3, 4], 74);
+    assert_gradients_close(&gates, 1e-4, |t, v| {
+        let c = t.leaf(c_prev.clone());
+        let hc = t.lstm_cell(v, c);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(hc, wl);
+        t.sum_all(p)
+    });
+    assert_gradients_close(&c_prev, 1e-4, |t, v| {
+        let g = t.leaf(gates.clone());
+        let hc = t.lstm_cell(g, v);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(hc, wl);
+        t.sum_all(p)
+    });
+}
+
+#[test]
+fn grad_gru_cell_all_three_parents() {
+    // [n=3, H=2] cell: perturb both gate pre-activations and the state.
+    let gi = rand(&[3, 6], 75);
+    let gh = rand(&[3, 6], 76);
+    let h_prev = rand(&[3, 2], 77);
+    let w = rand(&[3, 2], 78);
+    assert_gradients_close(&gi, 1e-4, |t, v| {
+        let ghl = t.leaf(gh.clone());
+        let hl = t.leaf(h_prev.clone());
+        let h = t.gru_cell(v, ghl, hl);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(h, wl);
+        t.sum_all(p)
+    });
+    assert_gradients_close(&gh, 1e-4, |t, v| {
+        let gil = t.leaf(gi.clone());
+        let hl = t.leaf(h_prev.clone());
+        let h = t.gru_cell(gil, v, hl);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(h, wl);
+        t.sum_all(p)
+    });
+    assert_gradients_close(&h_prev, 1e-4, |t, v| {
+        let gil = t.leaf(gi.clone());
+        let ghl = t.leaf(gh.clone());
+        let h = t.gru_cell(gil, ghl, v);
+        let wl = t.leaf(w.clone());
+        let p = t.mul(h, wl);
+        t.sum_all(p)
+    });
+}
+
+#[test]
 fn tape_reuse_multiple_backwards() {
     // Two backward passes over the same tape agree.
     let tape = Tape::new();

@@ -14,10 +14,12 @@ use std::hint::black_box;
 fn main() {
     let mut harness = Harness::new("pipeline");
 
-    // A small LSTM cohort: big enough to keep several workers busy,
-    // small enough that one sample stays in the millisecond range.
+    // An LSTM cohort sized so each worker gets several jobs (12
+    // individuals ÷ 2 workers = 6 each): per-job scheduling overhead is
+    // amortized and thread counts differ by more than queue noise,
+    // while one sample still finishes in tens of milliseconds.
     let mut scale = ExperimentScale::tiny();
-    scale.num_individuals = 6;
+    scale.num_individuals = 12;
     let dataset = scale.dataset();
     let spec = scale.spec(ModelKind::Lstm, GraphSpec::None, 2);
 

@@ -4,7 +4,7 @@
 //! shortened to T = 80 and sampling kept small so the suite stays
 //! tractable on a single core; relative model costs are unaffected.)
 
-use ema_autodiff::Tape;
+use ema_autodiff::{Grads, Tape};
 use ema_bench::Harness;
 use ema_data::{make_windows, split_train_test};
 use ema_graph::AdjacencyMatrix;
@@ -29,9 +29,15 @@ fn bench_epoch(c: &mut Harness) {
         let mut model = build_model(kind, V, SEQ, &ModelConfig::default(), g);
         let mut adam = Adam::new(OptimizerConfig::with_learning_rate(0.01));
         let mut drop_rng = Rng64::seed_from(2);
+        // Persistent workspaces, exactly like `ema_core::train_model`:
+        // the measured iteration is a *steady-state* epoch — tape node
+        // storage, gradient slots and pooled tensor buffers all carried
+        // over from the previous epoch.
+        let mut tape = Tape::new();
+        let mut grads = Grads::empty();
         c.bench_function(&format!("train_epoch_{}", kind.label()), |b| {
             b.iter(|| {
-                let tape = Tape::new();
+                tape.reset();
                 let binding = model.params().bind(&tape);
                 let mut ctx = ForwardCtx::train(&mut drop_rng);
                 let preds: Vec<_> = windows
@@ -42,7 +48,7 @@ fn bench_epoch(c: &mut Harness) {
                 let stacked = tape.stack_rows(&preds);
                 let tgt = tape.leaf(targets.clone());
                 let loss = tape.mse(stacked, tgt);
-                let grads = tape.backward(loss);
+                tape.backward_into(loss, &mut grads);
                 adam.step(model.params_mut(), &binding, &grads);
                 black_box(tape.value(loss))
             })

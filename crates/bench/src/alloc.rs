@@ -1,0 +1,77 @@
+//! A counting `#[global_allocator]` wrapper around the system allocator.
+//!
+//! Installed by this crate only (bench and test binaries that link
+//! `ema-bench`), so experiment binaries in other crates run on the plain
+//! system allocator. The counter lets the harness report
+//! `allocs_per_iter` next to each timing — the allocation-free hot path
+//! is *measured*, not asserted (see `Harness` / `BenchResult`).
+//!
+//! Counting is a single relaxed atomic increment per `alloc`/`realloc`,
+//! cheap enough to leave on during timed samples without skewing the
+//! medians.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap allocations observed process-wide since startup.
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts `alloc`/`realloc` calls.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to `System`; the only
+// addition is a relaxed counter increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Total heap allocations since process start. Subtract two readings to
+/// count the allocations of a code region (single-threaded regions give
+/// exact figures; concurrent allocations from other threads are
+/// attributed to whoever is measuring).
+#[must_use]
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_observes_heap_allocations() {
+        let before = alloc_count();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        std::hint::black_box(&v);
+        drop(v);
+        let after = alloc_count();
+        assert!(after > before, "Vec::with_capacity must count as an alloc");
+    }
+
+    #[test]
+    fn counter_is_monotonic() {
+        let a = alloc_count();
+        let b = alloc_count();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,113 @@
+//! Performance regression gate over `Harness` suite JSON.
+//!
+//! Compares a freshly recorded bench suite against a committed
+//! baseline, matching benchmarks by name and failing (exit code 1)
+//! when any median slows down by more than the tolerance.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [--tolerance PCT]
+//! ```
+//!
+//! The default tolerance is **15%**: generous enough to absorb normal
+//! scheduler and cache noise on a busy CI box (medians over a handful
+//! of short samples routinely wobble several percent, and the CI run
+//! uses fast settings — few samples, short sample windows — that widen
+//! the spread further), yet tight enough that a real regression, like
+//! an allocation sneaking back into the training hot loop, lands well
+//! outside it. Speedups and new benchmarks pass; a benchmark that
+//! *disappears* from the candidate fails the gate, so coverage cannot
+//! silently shrink.
+
+use ema_obs::Json;
+use std::process::ExitCode;
+
+/// Slowdown tolerance as a fraction (0.15 = +15% median is still OK).
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+fn medians(suite: &Json, path: &str) -> Vec<(String, f64)> {
+    let benches = suite
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: no 'benchmarks' array"));
+    benches
+        .iter()
+        .map(|b| {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{path}: benchmark without a name"))
+                .to_string();
+            let median = b
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{path}: '{name}' has no median_ns"));
+            (name, median)
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().expect("usage: bench_gate <baseline.json> <candidate.json> [--tolerance PCT]");
+    let candidate_path = args.next().expect("usage: bench_gate <baseline.json> <candidate.json> [--tolerance PCT]");
+    let mut tolerance = DEFAULT_TOLERANCE;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--tolerance" => {
+                let pct: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a percentage, e.g. --tolerance 15");
+                tolerance = pct / 100.0;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let baseline = medians(&load(&baseline_path), &baseline_path);
+    let candidate = medians(&load(&candidate_path), &candidate_path);
+
+    let mut failures = 0u32;
+    for (name, base_ns) in &baseline {
+        let Some((_, cand_ns)) = candidate.iter().find(|(n, _)| n == name) else {
+            eprintln!("GATE FAIL {name}: present in baseline, missing from candidate");
+            failures += 1;
+            continue;
+        };
+        let ratio = cand_ns / base_ns;
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let verdict = if ratio > 1.0 + tolerance {
+            failures += 1;
+            "GATE FAIL"
+        } else {
+            "gate ok  "
+        };
+        println!(
+            "{verdict} {name}: {:.3} ms -> {:.3} ms ({delta_pct:+.1}%)",
+            base_ns / 1e6,
+            cand_ns / 1e6,
+        );
+    }
+    for (name, _) in &candidate {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("gate ok   {name}: new benchmark (no baseline)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench gate: {failures} benchmark(s) regressed beyond {:.0}% median slowdown",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: all medians within {:.0}% of baseline", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
+}

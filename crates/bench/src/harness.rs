@@ -67,6 +67,11 @@ pub struct BenchResult {
     /// cohort run), when the benchmark declared any via
     /// [`Bencher::items`].
     pub items_per_iter: Option<f64>,
+    /// Heap allocations per iteration, counted by the in-house
+    /// [`crate::alloc::CountingAllocator`] over one untimed iteration
+    /// run after the timed samples (steady state, so pools and
+    /// persistent workspaces are warm).
+    pub allocs_per_iter: Option<f64>,
 }
 
 impl BenchResult {
@@ -92,6 +97,9 @@ impl BenchResult {
         if let Some(tp) = self.throughput_per_sec() {
             members.push(("throughput_per_sec", Json::Num(tp)));
         }
+        if let Some(allocs) = self.allocs_per_iter {
+            members.push(("allocs_per_iter", Json::Num(allocs)));
+        }
         Json::obj(members)
     }
 }
@@ -102,6 +110,7 @@ pub struct Bencher {
     config: Config,
     items_per_iter: Option<f64>,
     result: Option<(f64, f64, f64, u64)>,
+    allocs_per_iter: Option<f64>,
 }
 
 impl Bencher {
@@ -141,6 +150,14 @@ impl Bencher {
         let min = per_iter_ns[0];
         let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
         self.result = Some((median, min, mean, iters));
+
+        // One extra untimed iteration under the counting allocator: by
+        // now the workload is in steady state (pools warm, workspaces
+        // grown), so the delta is the per-iteration heap-alloc count
+        // the hot path actually pays.
+        let allocs_before = crate::alloc::alloc_count();
+        std::hint::black_box(f());
+        self.allocs_per_iter = Some((crate::alloc::alloc_count() - allocs_before) as f64);
     }
 }
 
@@ -180,6 +197,7 @@ impl Harness {
             config: self.config,
             items_per_iter: None,
             result: None,
+            allocs_per_iter: None,
         };
         {
             let _bench_span = ema_obs::span!("bench", suite = self.suite.as_str(), name = name);
@@ -189,6 +207,10 @@ impl Harness {
             .result
             .expect("benchmark closure must call Bencher::iter");
         ema_obs::recorder().set_gauge(&format!("bench_median_ns.{}.{name}", self.suite), median_ns);
+        if let Some(allocs) = bencher.allocs_per_iter {
+            ema_obs::recorder()
+                .set_gauge(&format!("bench_allocs_per_iter.{}.{name}", self.suite), allocs);
+        }
         let result = BenchResult {
             name: name.to_string(),
             median_ns,
@@ -197,16 +219,22 @@ impl Harness {
             samples: self.config.samples,
             iters_per_sample: iters,
             items_per_iter: bencher.items_per_iter,
+            allocs_per_iter: bencher.allocs_per_iter,
         };
         let throughput = result
             .throughput_per_sec()
             .map(|tp| format!("  ({tp:.2} items/s)"))
             .unwrap_or_default();
+        let allocs = result
+            .allocs_per_iter
+            .map(|a| format!("  [{a:.0} allocs/iter]"))
+            .unwrap_or_default();
         println!(
-            "{:<40} median {:>12} /iter{}  (min {}, {} samples × {} iters)",
+            "{:<40} median {:>12} /iter{}{}  (min {}, {} samples × {} iters)",
             name,
             format_ns(median_ns),
             throughput,
+            allocs,
             format_ns(min_ns),
             self.config.samples,
             iters,
@@ -258,12 +286,31 @@ mod tests {
             },
             items_per_iter: None,
             result: None,
+            allocs_per_iter: None,
         };
         bencher.iter(|| std::hint::black_box(42u64.wrapping_mul(7)));
         let (median, min, mean, iters) = bencher.result.unwrap();
         assert!(median > 0.0 && min > 0.0 && mean > 0.0);
         assert!(min <= median && median <= mean * 3.0);
         assert!(iters >= 1);
+        // An allocation-free workload measures zero allocs per iter.
+        assert_eq!(bencher.allocs_per_iter, Some(0.0));
+    }
+
+    #[test]
+    fn bencher_counts_allocating_workloads() {
+        let mut bencher = Bencher {
+            config: Config {
+                samples: 2,
+                sample_ms: 0.05,
+                warmup_ms: 0.05,
+            },
+            items_per_iter: None,
+            result: None,
+            allocs_per_iter: None,
+        };
+        bencher.iter(|| std::hint::black_box(vec![0u8; 256]));
+        assert!(bencher.allocs_per_iter.unwrap() >= 1.0);
     }
 
     #[test]
@@ -276,6 +323,7 @@ mod tests {
             samples: 15,
             iters_per_sample: 1000,
             items_per_iter: None,
+            allocs_per_iter: None,
         };
         let v = r.to_json_value();
         assert_eq!(v.require("name").unwrap().to_str().unwrap(), "matmul");
@@ -297,11 +345,13 @@ mod tests {
             samples: 5,
             iters_per_sample: 1,
             items_per_iter: Some(10.0),
+            allocs_per_iter: Some(12.0),
         };
         assert_eq!(r.throughput_per_sec(), Some(5.0));
         let v = r.to_json_value();
         assert_eq!(v.require("items_per_iter").unwrap().to_f64().unwrap(), 10.0);
         assert_eq!(v.require("throughput_per_sec").unwrap().to_f64().unwrap(), 5.0);
+        assert_eq!(v.require("allocs_per_iter").unwrap().to_f64().unwrap(), 12.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod harness;
 
 pub use harness::{BenchResult, Bencher, Harness};

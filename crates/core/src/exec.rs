@@ -231,12 +231,20 @@ pub fn expect_all<T>(results: Vec<JobResult<T>>, what: &str) -> Vec<T> {
 }
 
 /// Runs one job under a worker scope, converting a panic into a
-/// [`JobError`].
+/// [`JobError`]. The tensor-pool hit/miss deltas accumulated while the
+/// job ran are published as obs counters (telemetry only — whether a
+/// buffer request hits the pool can never change results).
 fn execute_job<T>(job: Job<'_, T>, worker: usize) -> JobResult<T> {
     let Job { label, task } = job;
-    let _worker_scope = ema_obs::recorder().worker_scope(worker);
+    let recorder = ema_obs::recorder();
+    let _worker_scope = recorder.worker_scope(worker);
     let _job_span = span!("job", label = label.as_str(), worker = worker);
-    match catch_unwind(AssertUnwindSafe(task)) {
+    let before = ema_tensor::pool::stats();
+    let outcome = catch_unwind(AssertUnwindSafe(task));
+    let after = ema_tensor::pool::stats();
+    recorder.inc_counter("pool_hits", after.hits - before.hits);
+    recorder.inc_counter("pool_misses", after.misses - before.misses);
+    match outcome {
         Ok(value) => Ok(value),
         Err(payload) => Err(JobError { label, message: panic_message(payload.as_ref()) }),
     }
@@ -277,14 +285,21 @@ fn run_pool<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<JobResult<T>>
             let queue = &queue;
             let slots = &slots;
             let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                // Scoped workers die with every run, so warm tensor-pool
+                // buffers are handed across runs via the shelf: adopt a
+                // parked pool on the way in, park ours on the way out.
+                ema_tensor::pool::adopt_stashed();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = lock(&queue[i]).take().expect("each job is taken exactly once");
+                    let result = execute_job(job, worker);
+                    *lock(&slots[i]) = Some(result);
                 }
-                let job = lock(&queue[i]).take().expect("each job is taken exactly once");
-                let result = execute_job(job, worker);
-                *lock(&slots[i]) = Some(result);
+                ema_tensor::pool::stash_local();
             });
         }
     });

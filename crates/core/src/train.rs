@@ -1,6 +1,6 @@
 //! Full-batch personalized training (paper Section V-D).
 
-use ema_autodiff::Tape;
+use ema_autodiff::{Grads, Tape};
 use ema_data::WindowedData;
 use ema_models::{Forecaster, ForwardCtx};
 use ema_nn::{global_grad_norm, Adam, Optimizer, OptimizerConfig};
@@ -129,8 +129,14 @@ pub fn train_model(
     let mut early_stopped = false;
     let mut best = f64::INFINITY;
     let mut since_best = 0usize;
+    // One tape and one gradient workspace for the whole run: reset()
+    // keeps the node storage between epochs and recycles every tensor
+    // buffer through the pool, so steady-state epochs allocate almost
+    // nothing. Vars do not survive reset, so parameters rebind per epoch.
+    let mut tape = Tape::new();
+    let mut grads = Grads::empty();
     for epoch in 0..config.epochs {
-        let tape = Tape::new();
+        tape.reset();
         let binding = model.params().bind(&tape);
         let mut ctx = ForwardCtx::train(&mut rng);
         let preds: Vec<_> = windows
@@ -144,7 +150,7 @@ pub fn train_model(
         let loss_value = tape.value(loss).data()[0];
         losses.push(loss_value);
 
-        let grads = tape.backward(loss);
+        tape.backward_into(loss, &mut grads);
         let grad_norm = global_grad_norm(model.params(), &binding, &grads);
         grad_norms.push(grad_norm);
         adam.step(model.params_mut(), &binding, &grads);

@@ -112,21 +112,12 @@ impl A3tgcn {
     fn tgcn_step(&self, tape: &Tape, binding: &Binding, a_hat: Var, x: Var, h: Var) -> Var {
         // x: [V, 1], h: [V, H]
         let xh = tape.hcat(x, h); // [V, 1 + H]
-        let u_pre = gcn_layer(
-            tape,
-            a_hat,
-            xh,
-            binding.var(self.update.w),
-            binding.var(self.update.b),
-        );
+        // Update and reset read the same graph-propagated features:
+        // compute Â·[x ‖ h] once and share it between both gates.
+        let xh_prop = tape.matmul(a_hat, xh); // [V, 1 + H]
+        let u_pre = tape.linear(xh_prop, binding.var(self.update.w), binding.var(self.update.b));
         let u = tape.sigmoid(u_pre);
-        let r_pre = gcn_layer(
-            tape,
-            a_hat,
-            xh,
-            binding.var(self.reset.w),
-            binding.var(self.reset.b),
-        );
+        let r_pre = tape.linear(xh_prop, binding.var(self.reset.w), binding.var(self.reset.b));
         let r = tape.sigmoid(r_pre);
         let rh = tape.mul(r, h);
         let xrh = tape.hcat(x, rh);
@@ -173,8 +164,11 @@ impl Forecaster for A3tgcn {
         assert_eq!(window.dims()[1], self.num_variables, "window width");
         let seq = window.dims()[0];
         let v = self.num_variables;
-        let a_hat = tape.leaf(self.a_hat.clone());
-        let mut h = tape.leaf(Tensor::zeros(&[v, self.hidden]));
+        // Constants shared by every window of the epoch: the normalised
+        // propagation matrix and the initial hidden state (read-only —
+        // each step produces a fresh var).
+        let a_hat = ctx.memo("a3tgcn_a_hat", || tape.leaf(self.a_hat.clone()));
+        let mut h = ctx.memo("a3tgcn_h0", || tape.leaf(Tensor::zeros(&[v, self.hidden])));
         let mut states = Vec::with_capacity(seq);
         for t in 0..seq {
             // Node features at step t: each variable's value, [V, 1].

@@ -172,19 +172,16 @@ impl Forecaster for Astgcn {
         let xt = tape.transpose(x); // [s, V]
         let u1 = tape.matmul(xt, binding.var(self.ta_p1)); // [s, d]
         let u2 = tape.matmul(xt, binding.var(self.ta_p2)); // [s, d]
-        let u2t = tape.transpose(u2);
-        let e_pre = tape.matmul(u1, u2t); // [s, s]
+        let e_pre = tape.matmul_nt(u1, u2); // [s, s]
         let e_act = tape.sigmoid(e_pre);
         let e = tape.softmax_last(e_act);
         // Reweight time steps: X̂ = X · Eᵀ.
-        let et = tape.transpose(e);
-        let x_hat = tape.matmul(x, et); // [V, s]
+        let x_hat = tape.matmul_nt(x, e); // [V, s]
 
         // Spatial attention S: [V, V].
         let e1 = tape.matmul(x, binding.var(self.sa_w1)); // [V, d]
         let e2 = tape.matmul(x, binding.var(self.sa_w2)); // [V, d]
-        let e2t = tape.transpose(e2);
-        let s_pre = tape.matmul(e1, e2t); // [V, V]
+        let s_pre = tape.matmul_nt(e1, e2); // [V, V]
         let s_act = tape.sigmoid(s_pre);
         let s_attn = tape.softmax_last(s_act);
 
@@ -201,8 +198,7 @@ impl Forecaster for Astgcn {
                     tk
                 };
                 let prop = tape.matmul(masked, x_t); // [V, 1]
-                let wt = tape.transpose(binding.var(self.cheb_w[k])); // [1, F]
-                let term = tape.matmul(prop, wt); // [V, F]
+                let term = tape.matmul_nt(prop, binding.var(self.cheb_w[k])); // [V, F]
                 acc = Some(match acc {
                     Some(a) => tape.add(a, term),
                     None => term,
@@ -220,8 +216,7 @@ impl Forecaster for Astgcn {
         let conv_out = self.temporal.forward(tape, binding, &steps);
         let conv_last = *conv_out.last().expect("non-empty conv output");
         let x_last = tape.slice_cols(x, s - 1, s); // [V, 1] raw input
-        let res_wt = tape.transpose(binding.var(self.res_w)); // [1, F]
-        let residual = tape.matmul(x_last, res_wt); // [V, F]
+        let residual = tape.matmul_nt(x_last, binding.var(self.res_w)); // [V, F]
         let combined = tape.add(conv_last, residual);
         let dropped = tape.dropout(combined, self.dropout, ctx.training, ctx.rng);
         let pred = tape.linear(dropped, binding.var(self.head_w), binding.var(self.head_b));

@@ -12,6 +12,9 @@ pub struct ForwardCtx<'a> {
     pub training: bool,
     /// Randomness source for dropout masks.
     pub rng: &'a mut Rng64,
+    /// Per-epoch memo for subgraphs that depend only on parameters or
+    /// constants (see [`ForwardCtx::memo`]).
+    memo_vars: Vec<(&'static str, Var)>,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -20,6 +23,7 @@ impl<'a> ForwardCtx<'a> {
         Self {
             training: true,
             rng,
+            memo_vars: Vec::new(),
         }
     }
 
@@ -28,7 +32,30 @@ impl<'a> ForwardCtx<'a> {
         Self {
             training: false,
             rng,
+            memo_vars: Vec::new(),
         }
+    }
+
+    /// Builds a tape var once per context and reuses it on every later
+    /// window: full-batch training forwards dozens of windows per
+    /// epoch, and subgraphs that depend only on parameters or
+    /// constants (MTGNN's learned adjacency, A3TGCN's propagation
+    /// matrix, initial zero states) are identical for all of them.
+    /// Sharing the subgraph also accumulates its parameter gradients
+    /// once instead of once per window.
+    ///
+    /// A context is scoped to a single tape epoch (every construction
+    /// site builds `Tape`/binding and `ForwardCtx` together); a memoed
+    /// var must never be used on another tape or after `Tape::reset`.
+    /// Only memoize RNG-free subgraphs — anything touching dropout
+    /// would change the draw sequence between first and later windows.
+    pub fn memo(&mut self, key: &'static str, build: impl FnOnce() -> Var) -> Var {
+        if let Some(&(_, var)) = self.memo_vars.iter().find(|(k, _)| *k == key) {
+            return var;
+        }
+        let var = build();
+        self.memo_vars.push((key, var));
+        var
     }
 }
 

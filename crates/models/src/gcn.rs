@@ -45,8 +45,7 @@ pub fn mixhop_propagation(
             let walk = tape.scale(prop, 1.0 - beta);
             h = tape.add(keep, walk);
         }
-        let wt = tape.transpose(w);
-        let term = tape.matmul(h, wt);
+        let term = tape.matmul_nt(h, w);
         out = Some(match out {
             Some(acc) => tape.add(acc, term),
             None => term,

@@ -248,7 +248,7 @@ impl Mtgnn {
                 let m2 = self.store.value(self.m2);
                 let t1 = e1.matmul(m1).scale(self.alpha).tanh();
                 let t2 = e2.matmul(m2).scale(self.alpha).tanh();
-                let a0 = t1.matmul(&t2.transpose());
+                let a0 = t1.matmul_nt(&t2);
                 let asym = a0.sub(&a0.transpose());
                 asym.scale(self.alpha).tanh().relu()
             }
@@ -295,8 +295,7 @@ impl Mtgnn {
                     let scaled = tape.scale(e2m2, self.alpha);
                     tape.tanh(scaled)
                 };
-                let t2t = tape.transpose(t2);
-                let a0 = tape.matmul(t1, t2t);
+                let a0 = tape.matmul_nt(t1, t2);
                 let a0t = tape.transpose(a0);
                 let asym = tape.sub(a0, a0t);
                 let scaled = tape.scale(asym, self.alpha);
@@ -364,7 +363,10 @@ impl Forecaster for Mtgnn {
             window.dims()[0]
         );
         let v = self.num_variables;
-        let a_hat = self.adjacency_var(tape, binding);
+        // The learned adjacency depends on parameters only: build its
+        // subgraph once per epoch and share it across windows (its
+        // embedding gradients then accumulate through the shared nodes).
+        let a_hat = ctx.memo("mtgnn_a_hat", || self.adjacency_var(tape, binding));
 
         // Start convolution: lift each step's [V, 1] to [V, C].
         let mut seq: Vec<Var> = (0..self.seq_len)
@@ -389,8 +391,7 @@ impl Forecaster for Mtgnn {
                 .collect();
             // Skip connection from the block's last gated step.
             let z_last = *z.last().expect("non-empty conv output");
-            let skip_wt = tape.transpose(binding.var(block.skip_w));
-            let skip = tape.matmul(z_last, skip_wt);
+            let skip = tape.matmul_nt(z_last, binding.var(block.skip_w));
             skip_acc = Some(match skip_acc {
                 Some(acc) => tape.add(acc, skip),
                 None => skip,

@@ -61,6 +61,7 @@ impl TemporalAttention {
         let n = tape.dims(states[0])[0];
         // Row-averaging matrix [1, n] as a constant.
         let avg = tape.leaf(Tensor::filled(&[1, n], 1.0 / n as f64));
+        let vt = tape.transpose(binding.var(self.v)); // [A, 1], shared by every step
         let mut scores = Vec::with_capacity(states.len());
         for &h in states {
             assert_eq!(
@@ -71,7 +72,6 @@ impl TemporalAttention {
             let mean_h = tape.matmul(avg, h); // [1, H]
             let proj = tape.linear(mean_h, binding.var(self.w), binding.var(self.b)); // [1, A]
             let act = tape.tanh(proj);
-            let vt = tape.transpose(binding.var(self.v)); // [A, 1]
             let score = tape.matmul(act, vt); // [1, 1]
             scores.push(tape.flatten(score)); // [1]
         }

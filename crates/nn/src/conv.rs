@@ -95,12 +95,13 @@ impl DilatedTemporalConv {
         let bias = binding.var(self.bias);
         let mut out = Vec::with_capacity(seq.len() - span);
         for t in span..seq.len() {
-            // Tap 0 applies to the newest step; older steps use later taps.
+            // Tap 0 applies to the newest step; older steps use later
+            // taps. X·Wᵀ runs on the transpose-aware kernel so the tap
+            // matrix is never materialized transposed.
             let mut acc: Option<Var> = None;
             for (j, &tap) in self.taps.iter().enumerate() {
                 let x = seq[t - j * self.dilation];
-                let wt = tape.transpose(binding.var(tap));
-                let term = tape.matmul(x, wt);
+                let term = tape.matmul_nt(x, binding.var(tap));
                 acc = Some(match acc {
                     Some(a) => tape.add(a, term),
                     None => term,

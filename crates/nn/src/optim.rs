@@ -81,11 +81,12 @@ pub trait Optimizer {
 /// Global L2 norm over every bound parameter's gradient — the quantity
 /// global-norm clipping compares against, exposed so the training loop
 /// can report it per epoch (obs telemetry, divergence diagnosis).
+/// Absent gradients contribute zero without materializing zero tensors.
 #[must_use]
-pub fn global_grad_norm(store: &ParamStore, binding: &Binding, grads: &Grads) -> f64 {
+pub fn global_grad_norm(_store: &ParamStore, binding: &Binding, grads: &Grads) -> f64 {
     let mut sq = 0.0;
-    for (id, var) in binding.iter() {
-        sq += grads.get_or_zeros(var, store.value(id).dims()).sq_sum();
+    for (_, var) in binding.iter() {
+        sq += grads.get(var).map_or(0.0, Tensor::sq_sum);
     }
     sq.sqrt()
 }
@@ -151,21 +152,26 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
 
+        let wd = self.config.weight_decay;
         for (id, var) in binding.iter() {
-            let dims = store.value(id).dims().to_vec();
-            let mut g = grads.get_or_zeros(var, &dims);
-            if factor < 1.0 {
-                g = g.scale(factor);
-            }
-            if self.config.weight_decay > 0.0 {
-                g = g.add(&store.value(id).scale(self.config.weight_decay));
-            }
+            // Clip factor and weight decay fold into the per-element
+            // gradient read: no scaled/decayed gradient tensor is ever
+            // materialized. The `factor < 1.0` / `wd > 0.0` guards keep
+            // the arithmetic (and signed zeros) bit-identical to the
+            // unclipped path.
+            let grad = grads.get(var);
             let i = id.index();
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             let param = store.value_mut(id);
             for j in 0..param.len() {
-                let gj = g.data()[j];
+                let mut gj = grad.map_or(0.0, |g| g.data()[j]);
+                if factor < 1.0 {
+                    gj *= factor;
+                }
+                if wd > 0.0 {
+                    gj += param.data()[j] * wd;
+                }
                 m.data_mut()[j] = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
                 v.data_mut()[j] = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
                 let mhat = m.data()[j] / bc1;
@@ -221,20 +227,23 @@ impl Optimizer for Sgd {
             .rate_at(self.config.learning_rate, self.step - 1);
         let factor = clip_factor(store, binding, grads, self.config.grad_clip);
 
+        let wd = self.config.weight_decay;
         for (id, var) in binding.iter() {
-            let dims = store.value(id).dims().to_vec();
-            let mut g = grads.get_or_zeros(var, &dims);
-            if factor < 1.0 {
-                g = g.scale(factor);
-            }
-            if self.config.weight_decay > 0.0 {
-                g = g.add(&store.value(id).scale(self.config.weight_decay));
-            }
+            // Same inline clip/decay fold as Adam: allocation-free with
+            // bit-identical arithmetic.
+            let grad = grads.get(var);
             let i = id.index();
             let vel = &mut self.velocity[i];
             let param = store.value_mut(id);
             for j in 0..param.len() {
-                let v = self.momentum * vel.data()[j] + g.data()[j];
+                let mut gj = grad.map_or(0.0, |g| g.data()[j]);
+                if factor < 1.0 {
+                    gj *= factor;
+                }
+                if wd > 0.0 {
+                    gj += param.data()[j] * wd;
+                }
+                let v = self.momentum * vel.data()[j] + gj;
                 vel.data_mut()[j] = v;
                 param.data_mut()[j] -= lr * v;
             }

@@ -72,31 +72,14 @@ impl GruCell {
     }
 
     /// One step: `x: [n, X]`, `h: [n, H]` → new hidden `[n, H]`.
+    ///
+    /// The gate math runs through the tape's fused
+    /// [`Tape::gru_cell`] op: one node instead of the ~14-node
+    /// slice/activate/combine graph per timestep.
     pub fn forward(&self, tape: &Tape, binding: &Binding, x: Var, h: Var) -> Var {
-        let hd = self.hidden_dim;
         let gi = tape.linear(x, binding.var(self.w_ih), binding.var(self.b_ih)); // [n, 3H]
         let gh = tape.linear(h, binding.var(self.w_hh), binding.var(self.b_hh)); // [n, 3H]
-
-        let i_r = tape.slice_cols(gi, 0, hd);
-        let i_z = tape.slice_cols(gi, hd, 2 * hd);
-        let i_n = tape.slice_cols(gi, 2 * hd, 3 * hd);
-        let h_r = tape.slice_cols(gh, 0, hd);
-        let h_z = tape.slice_cols(gh, hd, 2 * hd);
-        let h_n = tape.slice_cols(gh, 2 * hd, 3 * hd);
-
-        let r_pre = tape.add(i_r, h_r);
-        let r = tape.sigmoid(r_pre);
-        let z_pre = tape.add(i_z, h_z);
-        let z = tape.sigmoid(z_pre);
-        let rn = tape.mul(r, h_n);
-        let n_pre = tape.add(i_n, rn);
-        let n = tape.tanh(n_pre);
-
-        // h' = (1 - z) ⊙ n + z ⊙ h
-        let zn = tape.mul(z, n);
-        let n_minus_zn = tape.sub(n, zn);
-        let zh = tape.mul(z, h);
-        tape.add(n_minus_zn, zh)
+        tape.gru_cell(gi, gh, h)
     }
 
     /// Runs the cell over a sequence of inputs starting from `h0`,
@@ -194,27 +177,18 @@ impl LstmCell {
     }
 
     /// One step: `x: [n, X]` with carried state → new state.
+    ///
+    /// The gate math runs through the tape's fused
+    /// [`Tape::lstm_cell`] op, whose `[n, 2H]` output packs `[h' | c']`;
+    /// the two state halves are sliced back out for the next step.
     pub fn forward(&self, tape: &Tape, binding: &Binding, x: Var, state: LstmState) -> LstmState {
         let hd = self.hidden_dim;
         let gi = tape.linear(x, binding.var(self.w_ih), binding.var(self.b_ih)); // [n, 4H]
         let gh = tape.linear(state.h, binding.var(self.w_hh), binding.var(self.b_hh));
         let gates_pre = tape.add(gi, gh);
-
-        let i_pre = tape.slice_cols(gates_pre, 0, hd);
-        let f_pre = tape.slice_cols(gates_pre, hd, 2 * hd);
-        let g_pre = tape.slice_cols(gates_pre, 2 * hd, 3 * hd);
-        let o_pre = tape.slice_cols(gates_pre, 3 * hd, 4 * hd);
-
-        let i = tape.sigmoid(i_pre);
-        let f = tape.sigmoid(f_pre);
-        let g = tape.tanh(g_pre);
-        let o = tape.sigmoid(o_pre);
-
-        let fc = tape.mul(f, state.c);
-        let ig = tape.mul(i, g);
-        let c = tape.add(fc, ig);
-        let tc = tape.tanh(c);
-        let h = tape.mul(o, tc);
+        let hc = tape.lstm_cell(gates_pre, state.c);
+        let h = tape.slice_cols(hc, 0, hd);
+        let c = tape.slice_cols(hc, hd, 2 * hd);
         LstmState { h, c }
     }
 

@@ -35,6 +35,7 @@ mod display;
 mod error;
 mod linalg;
 mod ops;
+pub mod pool;
 mod random;
 mod reduce;
 mod shape;
@@ -43,6 +44,7 @@ mod solve;
 mod tensor;
 
 pub use error::TensorError;
+pub use pool::{PoolStats, PooledBuf};
 pub use random::{derive_stream_seed, Rng64};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,12 +1,127 @@
 //! Linear algebra: matrix products, transposition, stacking.
+//!
+//! ## Kernel bit-identity contract
+//!
+//! Every matmul variant here ([`Tensor::matmul`], [`Tensor::matmul_tn`],
+//! [`Tensor::matmul_nt`], the cache-blocked path and
+//! [`Tensor::matmul_into`]) produces **bit-identical** results to the
+//! reference `transpose()` + naive-triple-loop composition: each output
+//! element accumulates its `k` products in ascending-`p` order starting
+//! from `+0.0`, and the `lhs == 0.0` skip always tests the same logical
+//! element. This lets the autodiff backward pass and the models pick
+//! whichever kernel avoids materializing a transpose without perturbing
+//! a single bit of any experiment record (property-tested in
+//! `crates/tensor/tests/properties.rs`).
 
-use crate::Tensor;
+use crate::{pool, Shape, Tensor};
+
+/// Tile edge for the cache-blocked matmul path: output/operand row
+/// chunks of 64 f64 (512 B) stay resident in L1 across the `p` loop.
+const MM_BLOCK: usize = 64;
+
+/// Products with at least this many multiply-adds take the blocked
+/// path; below it the plain ikj loop wins on loop overhead.
+const MM_BLOCK_THRESHOLD: usize = 1 << 18;
+
+/// Register-tiled inner kernel: accumulates
+/// `out[i, j..j + W] += Σ_p a[i, p] · b[p, j..j + W]` for one output
+/// row span of compile-time width `W`. The fixed width lets the
+/// accumulator live in vector registers across the whole `p` loop; a
+/// dynamic-width span re-reads the output row from memory on every `p`
+/// step, chaining each iteration on a store-to-load roundtrip.
+///
+/// `b_span` must be `b` offset by the span's starting column. The `p`
+/// loop still runs 0..k in one ascending pass with the `== 0.0` skip,
+/// so the bit-identity contract is untouched.
+#[inline]
+fn accum_tile<const W: usize>(a_row: &[f64], b_span: &[f64], out_tile: &mut [f64; W], n: usize) {
+    let mut acc = *out_tile;
+    for (p, &aip) in a_row.iter().enumerate() {
+        if aip == 0.0 {
+            continue;
+        }
+        let brow: &[f64; W] = b_span[p * n..p * n + W].try_into().expect("span width");
+        for l in 0..W {
+            acc[l] += aip * brow[l];
+        }
+    }
+    *out_tile = acc;
+}
+
+/// Accumulates one output row span `out_row[jb..j_end]` by decomposing
+/// it into fixed-width register tiles (32/16/8/4) plus a scalar tail.
+fn accum_row_span(a_row: &[f64], b: &[f64], out_row: &mut [f64], n: usize, jb: usize, j_end: usize) {
+    let mut j = jb;
+    while j + 32 <= j_end {
+        let tile: &mut [f64; 32] = (&mut out_row[j..j + 32]).try_into().expect("tile width");
+        accum_tile::<32>(a_row, &b[j..], tile, n);
+        j += 32;
+    }
+    if j + 16 <= j_end {
+        let tile: &mut [f64; 16] = (&mut out_row[j..j + 16]).try_into().expect("tile width");
+        accum_tile::<16>(a_row, &b[j..], tile, n);
+        j += 16;
+    }
+    if j + 8 <= j_end {
+        let tile: &mut [f64; 8] = (&mut out_row[j..j + 8]).try_into().expect("tile width");
+        accum_tile::<8>(a_row, &b[j..], tile, n);
+        j += 8;
+    }
+    if j + 4 <= j_end {
+        let tile: &mut [f64; 4] = (&mut out_row[j..j + 4]).try_into().expect("tile width");
+        accum_tile::<4>(a_row, &b[j..], tile, n);
+        j += 4;
+    }
+    if j < j_end {
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n + j..p * n + j_end];
+            let orow = &mut out_row[j..j_end];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+}
+
+/// Shared ikj kernel accumulating `out += a · b` for row-major `a`
+/// `[m, k]` and `b` `[k, n]`. `out` must be zeroed by the caller.
+/// Skips `a[i, p] == 0.0` (exact zeros are common after ReLU); the skip
+/// is also what fixes the accumulation sequence the bit-identity
+/// contract promises.
+fn matmul_accumulate(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    if m * n * k >= MM_BLOCK_THRESHOLD && n > MM_BLOCK {
+        // Tile i and j only: for each output element the p loop still
+        // runs 0..k in one ascending pass, so blocking never reorders
+        // an accumulation (tiling p would).
+        for ib in (0..m).step_by(MM_BLOCK) {
+            let i_end = (ib + MM_BLOCK).min(m);
+            for jb in (0..n).step_by(MM_BLOCK) {
+                let j_end = (jb + MM_BLOCK).min(n);
+                for i in ib..i_end {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    accum_row_span(a_row, b, out_row, n, jb, j_end);
+                }
+            }
+        }
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        accum_row_span(a_row, b, out_row, n, 0, n);
+    }
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
     /// Uses an ikj loop order so the inner loop walks both operands
-    /// contiguously (cache-friendly without BLAS).
+    /// contiguously (cache-friendly without BLAS); large products
+    /// switch to a tiled path with identical accumulation order.
     ///
     /// # Panics
     /// Panics unless both operands are rank 2 with compatible inner dims.
@@ -20,23 +135,159 @@ impl Tensor {
             k, k2,
             "matmul inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
         );
+        let mut out = pool::take_zeroed(m * n);
+        matmul_accumulate(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_shape_pooled(Shape::of(&[m, n]), out)
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided `[m, n]`
+    /// tensor, with no allocation.
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatches between the operands and `out`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
+        );
+        assert_eq!(
+            out.dims(),
+            &[m, n],
+            "matmul_into output shape mismatch: expected [{m}, {n}]"
+        );
+        let buf = out.data_mut();
+        buf.fill(0.0);
+        matmul_accumulate(self.data(), other.data(), buf, m, k, n);
+    }
+
+    /// Transpose-aware product `selfᵀ · other`: `[k, m] x [k, n] ->
+    /// [m, n]` without materializing the transpose. Bit-identical to
+    /// `self.transpose().matmul(other)` — this is the `aᵀ·g` shape of
+    /// the autodiff backward pass.
+    ///
+    /// # Panics
+    /// Panics unless both operands are rank 2 sharing their first dim.
+    #[must_use]
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_tn leading dimension mismatch: [{k}, {m}]ᵀ x [{k2}, {n}]"
+        );
         let a = self.data();
         let b = other.data();
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += aip * brow[j];
-                }
+        // Repack selfᵀ into a pooled scratch buffer and run the shared
+        // ikj kernel: reading `a[p * m + i]` in place would walk the
+        // lhs column-wise (stride-m loads, one cache line per element),
+        // and the O(k·m) repack is noise next to the O(m·k·n) product.
+        // The repacked element is the same logical value the reference
+        // kernel tests after an explicit transpose, so accumulation
+        // order and the zero skip stay bit-identical.
+        let mut at = pool::take_uninit(m * k);
+        for (p, arow) in a.chunks_exact(m).enumerate() {
+            for (i, &av) in arow.iter().enumerate() {
+                at[i * k + p] = av;
             }
         }
-        Tensor::from_vec(&[m, n], out).expect("matmul output shape")
+        let mut out = pool::take_zeroed(m * n);
+        matmul_accumulate(&at, b, &mut out, m, k, n);
+        pool::recycle(at);
+        Tensor::from_shape_pooled(Shape::of(&[m, n]), out)
+    }
+
+    /// Transpose-aware product `self · otherᵀ`: `[m, k] x [n, k] ->
+    /// [m, n]` without materializing the transpose. Bit-identical to
+    /// `self.matmul(&other.transpose())` — the `g·bᵀ` shape of the
+    /// autodiff backward pass.
+    ///
+    /// # Panics
+    /// Panics unless both operands are rank 2 sharing their second dim.
+    #[must_use]
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_nt trailing dimension mismatch: [{m}, {k}] x [{n}, {k2}]ᵀ"
+        );
+        let a = self.data();
+        let b = other.data();
+        // Repack otherᵀ into a pooled scratch buffer (no heap traffic
+        // after warm-up) so the product runs on the shared ikj kernel:
+        // a row-dot-row loop here would be a serial dependency chain
+        // per output element, which cannot vectorize — the O(k·n)
+        // repack is noise next to the O(m·k·n) vectorized product.
+        // Accumulation order and the lhs zero skip are exactly those of
+        // `matmul`, so results stay bit-identical to the composed form.
+        let mut bt = pool::take_uninit(k * n);
+        for (j, brow) in b.chunks_exact(k).enumerate() {
+            for (p, &bv) in brow.iter().enumerate() {
+                bt[p * n + j] = bv;
+            }
+        }
+        let mut out = pool::take_zeroed(m * n);
+        matmul_accumulate(a, &bt, &mut out, m, k, n);
+        pool::recycle(bt);
+        Tensor::from_shape_pooled(Shape::of(&[m, n]), out)
+    }
+
+    /// Fused linear-layer kernel `self · wᵀ + bias`:
+    /// `[n, k] x [out, k]ᵀ + [out] -> [n, out]` in one pass, with no
+    /// transpose and no intermediate product tensor. Bit-identical to
+    /// `self.matmul(&w.transpose()).add_row_broadcast(bias)` — the dot
+    /// product accumulates exactly like [`Tensor::matmul_nt`] and the
+    /// bias is added after the full accumulation, matching the
+    /// composed ordering.
+    ///
+    /// # Panics
+    /// Panics on rank or dimension mismatches.
+    #[must_use]
+    pub fn addmm(&self, w: &Tensor, bias: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "addmm input must be rank 2");
+        assert_eq!(w.rank(), 2, "addmm weight must be rank 2");
+        assert_eq!(bias.rank(), 1, "addmm bias must be rank 1");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (w.dims()[0], w.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "addmm trailing dimension mismatch: [{m}, {k}] x [{n}, {k2}]ᵀ"
+        );
+        assert_eq!(
+            bias.len(),
+            n,
+            "addmm bias length {} does not match output width {n}",
+            bias.len()
+        );
+        let a = self.data();
+        let b = w.data();
+        let bd = bias.data();
+        // Same pooled-repack strategy as `matmul_nt` (see there): run
+        // the vectorizable ikj kernel over wᵀ, then add the bias after
+        // each output's accumulation completes — the composed ordering.
+        let mut wt = pool::take_uninit(k * n);
+        for (j, wrow) in b.chunks_exact(k).enumerate() {
+            for (p, &wv) in wrow.iter().enumerate() {
+                wt[p * n + j] = wv;
+            }
+        }
+        let mut out = pool::take_zeroed(m * n);
+        matmul_accumulate(a, &wt, &mut out, m, k, n);
+        pool::recycle(wt);
+        for orow in out.chunks_exact_mut(n) {
+            for (o, &bv) in orow.iter_mut().zip(bd) {
+                *o += bv;
+            }
+        }
+        Tensor::from_shape_pooled(Shape::of(&[m, n]), out)
     }
 
     /// Matrix–vector product: `[m, k] x [k] -> [m]`.
@@ -51,12 +302,12 @@ impl Tensor {
         assert_eq!(k, v.len(), "matvec inner dimension mismatch");
         let a = self.data();
         let x = v.data();
-        let mut out = vec![0.0; m];
-        for i in 0..m {
+        let mut out = pool::take_uninit(m);
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x.iter()).map(|(&p, &q)| p * q).sum();
+            *o = row.iter().zip(x.iter()).map(|(&p, &q)| p * q).sum();
         }
-        Tensor::from_vec1(out)
+        Tensor::from_shape_pooled(Shape::of(&[m]), out)
     }
 
     /// Transpose of a rank-2 tensor.
@@ -68,13 +319,13 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "transpose requires rank 2");
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let a = self.data();
-        let mut out = vec![0.0; m * n];
+        let mut out = pool::take_uninit(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = a[i * n + j];
             }
         }
-        Tensor::from_vec(&[n, m], out).expect("transpose output shape")
+        Tensor::from_shape_pooled(Shape::of(&[n, m]), out)
     }
 
     /// Dot product of two rank-1 tensors.
@@ -102,13 +353,13 @@ impl Tensor {
         assert_eq!(self.rank(), 1, "outer lhs must be rank 1");
         assert_eq!(other.rank(), 1, "outer rhs must be rank 1");
         let (m, n) = (self.len(), other.len());
-        let mut out = vec![0.0; m * n];
+        let mut out = pool::take_uninit(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[i * n + j] = self.data()[i] * other.data()[j];
             }
         }
-        Tensor::from_vec(&[m, n], out).expect("outer output shape")
+        Tensor::from_shape_pooled(Shape::of(&[m, n]), out)
     }
 
     /// Frobenius / L2 norm over all elements.
@@ -138,7 +389,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "row requires rank 2");
         let (m, n) = (self.dims()[0], self.dims()[1]);
         assert!(i < m, "row index {i} out of bounds for {m} rows");
-        Tensor::from_vec1(self.data()[i * n..(i + 1) * n].to_vec())
+        Tensor::pooled_copy(Shape::of(&[n]), &self.data()[i * n..(i + 1) * n])
     }
 
     /// Extracts column `j` of a rank-2 tensor as a rank-1 tensor.
@@ -150,7 +401,11 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "col requires rank 2");
         let (m, n) = (self.dims()[0], self.dims()[1]);
         assert!(j < n, "column index {j} out of bounds for {n} columns");
-        Tensor::from_vec1((0..m).map(|i| self.data()[i * n + j]).collect())
+        let mut out = pool::take_uninit(m);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data()[i * n + j];
+        }
+        Tensor::from_shape_pooled(Shape::of(&[m]), out)
     }
 
     /// Stacks rank-1 tensors of equal length into a `[rows.len(), len]`
@@ -162,13 +417,13 @@ impl Tensor {
     pub fn stack_rows(rows: &[Tensor]) -> Tensor {
         assert!(!rows.is_empty(), "cannot stack zero rows");
         let n = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * n);
+        let mut data = pool::take_uninit(rows.len() * n);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.rank(), 1, "stack_rows expects rank-1 tensors");
             assert_eq!(r.len(), n, "row {i} has mismatched length");
-            data.extend_from_slice(r.data());
+            data[i * n..(i + 1) * n].copy_from_slice(r.data());
         }
-        Tensor::from_vec(&[rows.len(), n], data).expect("stack output shape")
+        Tensor::from_shape_pooled(Shape::of(&[rows.len(), n]), data)
     }
 
     /// Concatenates two matrices horizontally: `[m, a]` ++ `[m, b]` →
@@ -183,12 +438,13 @@ impl Tensor {
         let (m, a) = (self.dims()[0], self.dims()[1]);
         let (m2, b) = (other.dims()[0], other.dims()[1]);
         assert_eq!(m, m2, "hcat row count mismatch");
-        let mut data = Vec::with_capacity(m * (a + b));
+        let w = a + b;
+        let mut data = pool::take_uninit(m * w);
         for i in 0..m {
-            data.extend_from_slice(&self.data()[i * a..(i + 1) * a]);
-            data.extend_from_slice(&other.data()[i * b..(i + 1) * b]);
+            data[i * w..i * w + a].copy_from_slice(&self.data()[i * a..(i + 1) * a]);
+            data[i * w + a..(i + 1) * w].copy_from_slice(&other.data()[i * b..(i + 1) * b]);
         }
-        Tensor::from_vec(&[m, a + b], data).expect("hcat output shape")
+        Tensor::from_shape_pooled(Shape::of(&[m, w]), data)
     }
 
     /// Concatenates two matrices vertically: `[a, n]` ++ `[b, n]` →
@@ -203,10 +459,10 @@ impl Tensor {
         let (a, n) = (self.dims()[0], self.dims()[1]);
         let (b, n2) = (other.dims()[0], other.dims()[1]);
         assert_eq!(n, n2, "vcat column count mismatch");
-        let mut data = Vec::with_capacity((a + b) * n);
-        data.extend_from_slice(self.data());
-        data.extend_from_slice(other.data());
-        Tensor::from_vec(&[a + b, n], data).expect("vcat output shape")
+        let mut data = pool::take_uninit((a + b) * n);
+        data[..a * n].copy_from_slice(self.data());
+        data[a * n..].copy_from_slice(other.data());
+        Tensor::from_shape_pooled(Shape::of(&[a + b, n]), data)
     }
 }
 
@@ -245,6 +501,92 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec(&[3, 2], (0..6).map(f64::from).collect()).unwrap();
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|v| f64::from(v) * 0.5).collect()).unwrap();
+        let fused = a.matmul_tn(&b);
+        let reference = a.transpose().matmul(&b);
+        assert_eq!(fused.dims(), &[2, 4]);
+        assert_eq!(fused.data(), reference.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(f64::from).collect()).unwrap();
+        let b = Tensor::from_vec(&[4, 3], (0..12).map(|v| f64::from(v) * 0.5).collect()).unwrap();
+        let fused = a.matmul_nt(&b);
+        let reference = a.matmul(&b.transpose());
+        assert_eq!(fused.dims(), &[2, 4]);
+        assert_eq!(fused.data(), reference.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension mismatch")]
+    fn matmul_tn_checks_dims() {
+        let _ = Tensor::zeros(&[2, 3]).matmul_tn(&Tensor::zeros(&[3, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing dimension mismatch")]
+    fn matmul_nt_checks_dims() {
+        let _ = Tensor::zeros(&[2, 3]).matmul_nt(&Tensor::zeros(&[3, 2]));
+    }
+
+    #[test]
+    fn matmul_into_matches_allocating_twin() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(f64::from).collect()).unwrap();
+        let b = Tensor::from_vec(&[3, 4], (0..12).map(|v| f64::from(v) - 3.0).collect()).unwrap();
+        let mut out = Tensor::filled(&[2, 4], 99.0); // stale contents must vanish
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), a.matmul(&b).data());
+    }
+
+    #[test]
+    fn blocked_path_matches_naive() {
+        // Large enough to cross MM_BLOCK_THRESHOLD with n > MM_BLOCK.
+        let m = 72;
+        let k = 72;
+        let n = 72;
+        let mut rng = crate::Rng64::seed_from(5);
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        let blocked = a.matmul(&b);
+        // Naive reference: ascending-p accumulation per element.
+        let (ad, bd) = (a.data(), b.data());
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    let aip = ad[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    acc += aip * bd[p * n + j];
+                }
+                assert_eq!(blocked.data()[i * n + j], acc, "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn addmm_matches_composed_ops() {
+        let mut rng = crate::Rng64::seed_from(7);
+        let x = Tensor::rand_normal(&[5, 3], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng);
+        let bias = Tensor::rand_normal(&[4], 0.0, 1.0, &mut rng);
+        let fused = x.addmm(&w, &bias);
+        let reference = x.matmul(&w.transpose()).add_row_broadcast(&bias);
+        assert_eq!(fused.dims(), &[5, 4]);
+        assert_eq!(fused.data(), reference.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn addmm_checks_bias_length() {
+        let _ = Tensor::zeros(&[2, 3]).addmm(&Tensor::zeros(&[4, 3]), &Tensor::zeros(&[3]));
     }
 
     #[test]

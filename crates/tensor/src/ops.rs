@@ -1,19 +1,40 @@
 //! Elementwise arithmetic, mapping and broadcast helpers.
 
-use crate::Tensor;
+use crate::{pool, Tensor};
 
 impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        let data = self.data().iter().map(|&v| f(v)).collect();
-        Tensor::from_vec(self.dims(), data).expect("map preserves shape")
+        let mut data = pool::take_uninit(self.len());
+        for (o, &v) in data.iter_mut().zip(self.data()) {
+            *o = f(v);
+        }
+        Tensor::from_shape_pooled(*self.shape(), data)
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
         for v in self.data_mut() {
             *v = f(*v);
+        }
+    }
+
+    /// [`Tensor::map`] writing into a caller-provided tensor of the
+    /// same shape as `self`, with no allocation.
+    ///
+    /// # Panics
+    /// Panics if `out`'s shape differs from `self`'s.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Tensor) {
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "elementwise op requires matching shapes: {:?} vs {:?}",
+            self.dims(),
+            out.dims()
+        );
+        for (o, &v) in out.data_mut().iter_mut().zip(self.data()) {
+            *o = f(v);
         }
     }
 
@@ -30,13 +51,11 @@ impl Tensor {
             self.dims(),
             other.dims()
         );
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Tensor::from_vec(self.dims(), data).expect("zip preserves shape")
+        let mut data = pool::take_uninit(self.len());
+        for ((o, &a), &b) in data.iter_mut().zip(self.data()).zip(other.data()) {
+            *o = f(a, b);
+        }
+        Tensor::from_shape_pooled(*self.shape(), data)
     }
 
     /// Elementwise sum.
@@ -63,6 +82,31 @@ impl Tensor {
         );
         for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
             *a += b;
+        }
+    }
+
+    /// Elementwise sum written into a caller-provided tensor
+    /// (`out = self + other`), with no allocation.
+    ///
+    /// # Panics
+    /// Panics if any of the three shapes differ.
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op requires matching shapes: {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "elementwise op requires matching shapes: {:?} vs {:?}",
+            self.dims(),
+            out.dims()
+        );
+        for ((o, &a), &b) in out.data_mut().iter_mut().zip(self.data()).zip(other.data()) {
+            *o = a + b;
         }
     }
 

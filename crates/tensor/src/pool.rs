@@ -1,0 +1,329 @@
+//! Per-thread buffer pool for tensor storage.
+//!
+//! Full-batch EMA training re-presents the *same* tensor shapes every
+//! epoch (300 times per individual), so recycling `Vec<f64>` buffers by
+//! exact length turns nearly every hot-path allocation into a pop from
+//! a thread-local free list. The pool is deliberately simple:
+//!
+//! * **Length-keyed, exact match.** Buffers are binned by element
+//!   count; a request only ever reuses a buffer of identical length, so
+//!   pooled tensors are indistinguishable from freshly allocated ones.
+//! * **Thread-local, no locks on the hot path.** Each worker owns its
+//!   pool; the cohort executor hands pools across runs via
+//!   [`stash_local`] / [`adopt_stashed`] because its scoped worker
+//!   threads die at the end of every run.
+//! * **Determinism-safe.** A buffer from [`take_uninit`] carries stale
+//!   `f64` values (always valid bit patterns — no `unsafe`), and every
+//!   caller must overwrite all of it; [`take_zeroed`] / [`take_filled`]
+//!   reset contents for accumulate-style kernels. Whether a request
+//!   hits or misses the pool can never change numerical results.
+//!
+//! [`Tensor`](crate::Tensor) integrates automatically: its `Drop`
+//! recycles the storage and its constructors draw from the pool, so
+//! plain tensor code is pooled without any API change. [`PooledBuf`] is
+//! the RAII handle for raw scratch buffers outside tensors.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// Maximum number of distinct buffer lengths tracked per thread.
+const MAX_CLASSES: usize = 64;
+/// Maximum free buffers kept per length class.
+const MAX_PER_CLASS: usize = 16;
+/// Buffers above this element count are never pooled (8 MiB of f64).
+const MAX_POOLED_LEN: usize = 1 << 20;
+/// Maximum worker pools parked on the cross-run shelf.
+const MAX_STASHED: usize = 8;
+
+/// Cumulative counters for one thread's pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from the free list.
+    pub hits: u64,
+    /// Requests that fell back to a fresh heap allocation.
+    pub misses: u64,
+    /// Buffers accepted back into the free list.
+    pub recycled: u64,
+    /// Buffers rejected (class/size caps) and freed normally.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Pool {
+    /// `(len, free buffers)` bins; linear scan — the working set of a
+    /// training loop is a few dozen distinct lengths at most.
+    classes: Vec<(usize, Vec<Vec<f64>>)>,
+    stats: PoolStats,
+}
+
+impl Pool {
+    fn take(&mut self, len: usize) -> Option<Vec<f64>> {
+        for (l, bufs) in &mut self.classes {
+            if *l == len {
+                if let Some(buf) = bufs.pop() {
+                    self.stats.hits += 1;
+                    return Some(buf);
+                }
+                break;
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn put(&mut self, buf: Vec<f64>) {
+        let len = buf.len();
+        if len == 0 || len > MAX_POOLED_LEN {
+            self.stats.dropped += 1;
+            return;
+        }
+        for (l, bufs) in &mut self.classes {
+            if *l == len {
+                if bufs.len() < MAX_PER_CLASS {
+                    bufs.push(buf);
+                    self.stats.recycled += 1;
+                } else {
+                    self.stats.dropped += 1;
+                }
+                return;
+            }
+        }
+        if self.classes.len() < MAX_CLASSES {
+            self.classes.push((len, vec![buf]));
+            self.stats.recycled += 1;
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Merges another pool's free buffers in (stats untouched — the
+    /// buffers were already accounted for by the thread that freed
+    /// them).
+    fn absorb(&mut self, other: Pool) {
+        for (len, bufs) in other.classes {
+            for buf in bufs {
+                if let Some((_, bin)) = self.classes.iter_mut().find(|(l, _)| *l == len) {
+                    if bin.len() < MAX_PER_CLASS {
+                        bin.push(buf);
+                    }
+                } else if self.classes.len() < MAX_CLASSES {
+                    self.classes.push((len, vec![buf]));
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Parked worker pools, handed across executor runs (whose scoped
+/// threads do not outlive a run).
+static SHELF: Mutex<Vec<Pool>> = Mutex::new(Vec::new());
+
+/// Takes a recycled buffer of exactly `len` elements, or allocates one.
+///
+/// The contents are **stale** on a pool hit (valid `f64`s from a
+/// previous tensor): the caller must overwrite every element before the
+/// buffer becomes observable, or determinism breaks. Use
+/// [`take_zeroed`] when the op accumulates instead of overwriting.
+#[must_use]
+pub fn take_uninit(len: usize) -> Vec<f64> {
+    POOL.try_with(|p| p.borrow_mut().take(len))
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| vec![0.0; len])
+}
+
+/// Takes a buffer of `len` zeros.
+#[must_use]
+pub fn take_zeroed(len: usize) -> Vec<f64> {
+    take_filled(len, 0.0)
+}
+
+/// Takes a buffer of `len` copies of `value`.
+#[must_use]
+pub fn take_filled(len: usize, value: f64) -> Vec<f64> {
+    match POOL.try_with(|p| p.borrow_mut().take(len)).ok().flatten() {
+        Some(mut buf) => {
+            buf.fill(value);
+            buf
+        }
+        None => vec![value; len],
+    }
+}
+
+/// Returns a buffer to the current thread's pool (or frees it when the
+/// pool is at capacity). Empty buffers are ignored.
+pub fn recycle(buf: Vec<f64>) {
+    if buf.is_empty() {
+        return;
+    }
+    // During thread-local teardown the pool may already be gone; the
+    // buffer then just drops normally.
+    let _ = POOL.try_with(|p| p.borrow_mut().put(buf));
+}
+
+/// Snapshot of the current thread's pool counters.
+#[must_use]
+pub fn stats() -> PoolStats {
+    POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
+}
+
+/// Parks the current thread's free buffers on the process-wide shelf so
+/// a future worker thread can [`adopt_stashed`] them. Stats stay with
+/// the thread; only the buffers move. No-op when the shelf is full.
+pub fn stash_local() {
+    let pool = match POOL.try_with(|p| {
+        let inner = &mut *p.borrow_mut();
+        Pool {
+            classes: std::mem::take(&mut inner.classes),
+            stats: PoolStats::default(),
+        }
+    }) {
+        Ok(pool) if !pool.classes.is_empty() => pool,
+        _ => return,
+    };
+    if let Ok(mut shelf) = SHELF.lock() {
+        if shelf.len() < MAX_STASHED {
+            shelf.push(pool);
+        }
+    }
+}
+
+/// Adopts one parked pool from the shelf into the current thread, if
+/// any. Called by executor workers at startup so buffer reuse survives
+/// the death of the previous run's threads.
+pub fn adopt_stashed() {
+    let Some(parked) = SHELF.lock().ok().and_then(|mut s| s.pop()) else {
+        return;
+    };
+    let _ = POOL.try_with(|p| p.borrow_mut().absorb(parked));
+}
+
+/// RAII handle over a pooled scratch buffer: derefs to `[f64]` and
+/// recycles on drop. For raw workspaces outside [`crate::Tensor`].
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<f64>,
+}
+
+impl PooledBuf {
+    /// A pooled buffer of `len` stale-but-valid elements; the caller
+    /// must overwrite all of them (see [`take_uninit`]).
+    #[must_use]
+    pub fn uninit(len: usize) -> Self {
+        Self {
+            buf: take_uninit(len),
+        }
+    }
+
+    /// A pooled buffer of `len` zeros.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        Self {
+            buf: take_zeroed(len),
+        }
+    }
+
+    /// Releases the buffer without recycling it.
+    #[must_use]
+    pub fn into_inner(mut self) -> Vec<f64> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        recycle(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffer_is_reused_by_length() {
+        let before = stats();
+        let buf = take_uninit(4099); // length no other test uses
+        recycle(buf);
+        let buf = take_uninit(4099);
+        let after = stats();
+        assert_eq!(buf.len(), 4099);
+        assert!(after.hits > before.hits, "second take must hit the pool");
+        assert!(after.recycled > before.recycled);
+        recycle(buf);
+    }
+
+    #[test]
+    fn take_filled_resets_stale_contents() {
+        let mut buf = take_uninit(523);
+        buf.iter_mut().for_each(|v| *v = 9.9);
+        recycle(buf);
+        let buf = take_filled(523, 1.5);
+        assert!(buf.iter().all(|&v| v == 1.5));
+        let buf2 = take_zeroed(523);
+        assert!(buf2.iter().all(|&v| v == 0.0));
+        recycle(buf);
+        recycle(buf2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let before = stats();
+        recycle(vec![0.0; MAX_POOLED_LEN + 1]);
+        let after = stats();
+        assert_eq!(after.recycled, before.recycled);
+        assert!(after.dropped > before.dropped);
+    }
+
+    #[test]
+    fn pooled_buf_raii_recycles() {
+        let before = stats();
+        {
+            let mut b = PooledBuf::zeroed(777);
+            b[0] = 1.0;
+            assert_eq!(b.len(), 777);
+        }
+        let after = stats();
+        assert!(after.recycled > before.recycled, "drop must recycle");
+        let reused = take_uninit(777);
+        assert!(stats().hits > after.hits);
+        recycle(reused);
+    }
+
+    #[test]
+    fn shelf_hands_buffers_across_threads() {
+        // Seed a recognisable class, park it, and adopt it elsewhere.
+        std::thread::spawn(|| {
+            recycle(vec![0.0; 6007]);
+            stash_local();
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(|| {
+            adopt_stashed();
+            let before = stats();
+            let buf = take_uninit(6007);
+            assert_eq!(buf.len(), 6007);
+            assert!(stats().hits > before.hits, "adopted buffer must hit");
+        })
+        .join()
+        .unwrap();
+    }
+}

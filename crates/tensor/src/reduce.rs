@@ -1,6 +1,6 @@
 //! Reductions: global and per-axis sums, means, extrema and statistics.
 
-use crate::Tensor;
+use crate::{pool, Tensor};
 
 impl Tensor {
     /// Sum of all elements.
@@ -71,13 +71,12 @@ impl Tensor {
     #[must_use]
     pub fn sum_axis(&self, axis: usize) -> Tensor {
         let out_shape = self.shape().without_axis(axis);
-        let mut out = vec![0.0; out_shape.volume()];
+        let mut out = pool::take_uninit(out_shape.volume());
         let dims = self.dims();
-        let strides = self.shape().strides();
         let axis_len = dims[axis];
-        let axis_stride = strides[axis];
         // Iterate over all elements of the output; for each, sum the
-        // input values along the reduced axis.
+        // input values along the reduced axis. The row-major stride of
+        // `axis` equals the product of the dimensions after it.
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
         for o in 0..outer {
@@ -85,12 +84,12 @@ impl Tensor {
                 let base = o * axis_len * inner + i;
                 let mut acc = 0.0;
                 for a in 0..axis_len {
-                    acc += self.data()[base + a * axis_stride];
+                    acc += self.data()[base + a * inner];
                 }
                 out[o * inner + i] = acc;
             }
         }
-        Tensor::from_vec(out_shape.dims(), out).expect("sum_axis output shape")
+        Tensor::from_shape_pooled(out_shape, out)
     }
 
     /// Means along `axis`, removing it from the shape.

@@ -2,51 +2,66 @@
 
 use crate::TensorError;
 
+/// Maximum tensor rank supported by the inline shape representation.
+pub const MAX_RANK: usize = 4;
+
 /// The dimensions of a tensor, stored outermost-first (row-major).
 ///
-/// `Shape` is cheap to clone (a small `Vec<usize>`) and provides the index
-/// arithmetic shared by every tensor operation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Shape(Vec<usize>);
+/// Dimensions live in a fixed inline array (rank ≤ [`MAX_RANK`]), so a
+/// `Shape` never touches the heap — constructing, cloning and comparing
+/// shapes is allocation-free, which matters because every tensor op on
+/// the training hot path builds one. Unused slots are kept at zero so
+/// the derived `PartialEq`/`Hash` agree with logical equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
     /// Creates a shape from a dimension slice.
     ///
     /// # Errors
-    /// Returns [`TensorError::EmptyShape`] if `dims` is empty or any
-    /// dimension is zero.
+    /// Returns [`TensorError::EmptyShape`] if `dims` is empty, any
+    /// dimension is zero, or the rank exceeds [`MAX_RANK`].
     pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
-        if dims.is_empty() || dims.contains(&0) {
+        if dims.is_empty() || dims.len() > MAX_RANK || dims.contains(&0) {
             return Err(TensorError::EmptyShape);
         }
-        Ok(Self(dims.to_vec()))
+        let mut inline = [0; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Ok(Self {
+            dims: inline,
+            rank: dims.len() as u8,
+        })
     }
 
     /// Creates a shape without validation. Panics on invalid input.
     ///
     /// # Panics
-    /// Panics if `dims` is empty or contains a zero dimension.
+    /// Panics if `dims` is empty, contains a zero dimension, or exceeds
+    /// rank [`MAX_RANK`].
     #[must_use]
     pub fn of(dims: &[usize]) -> Self {
-        Self::new(dims).expect("invalid shape: empty or zero-sized dimension")
+        Self::new(dims).expect("invalid shape: empty, zero-sized or over-rank dimension list")
     }
 
     /// The dimensions as a slice, outermost-first.
     #[must_use]
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank as usize]
     }
 
     /// The number of axes.
     #[must_use]
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// The total number of elements (product of dimensions).
     #[must_use]
     pub fn volume(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Size along `axis`.
@@ -60,7 +75,7 @@ impl Shape {
             "axis {axis} out of bounds for rank {}",
             self.rank()
         );
-        self.0[axis]
+        self.dims[axis]
     }
 
     /// Row-major strides: the flat-index step for a unit move along each
@@ -69,7 +84,7 @@ impl Shape {
     pub fn strides(&self) -> Vec<usize> {
         let mut strides = vec![1; self.rank()];
         for i in (0..self.rank().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+            strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
     }
@@ -89,14 +104,16 @@ impl Shape {
             self.rank()
         );
         let mut flat = 0;
-        let strides = self.strides();
-        for (axis, (&i, &stride)) in index.iter().zip(strides.iter()).enumerate() {
+        let mut stride = 1;
+        for axis in (0..self.rank()).rev() {
+            let i = index[axis];
             assert!(
-                i < self.0[axis],
+                i < self.dims[axis],
                 "index {i} out of bounds for axis {axis} with size {}",
-                self.0[axis]
+                self.dims[axis]
             );
             flat += i * stride;
+            stride *= self.dims[axis];
         }
         flat
     }
@@ -130,17 +147,32 @@ impl Shape {
     pub fn without_axis(&self, axis: usize) -> Shape {
         assert!(axis < self.rank(), "axis {axis} out of bounds");
         if self.rank() == 1 {
-            return Shape(vec![1]);
+            return Shape::of(&[1]);
         }
-        let mut dims = self.0.clone();
-        dims.remove(axis);
-        Shape(dims)
+        let mut dims = [0; MAX_RANK];
+        let mut out = 0;
+        for (a, &d) in self.dims().iter().enumerate() {
+            if a != axis {
+                dims[out] = d;
+                out += 1;
+            }
+        }
+        Shape {
+            dims,
+            rank: out as u8,
+        }
     }
 
     /// True when the two shapes are element-wise compatible (identical).
     #[must_use]
     pub fn same_as(&self, other: &Shape) -> bool {
         self == other
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shape({:?})", self.dims())
     }
 }
 
@@ -169,9 +201,11 @@ mod tests {
     }
 
     #[test]
-    fn rejects_empty_and_zero() {
+    fn rejects_empty_zero_and_over_rank() {
         assert_eq!(Shape::new(&[]), Err(TensorError::EmptyShape));
         assert_eq!(Shape::new(&[3, 0]), Err(TensorError::EmptyShape));
+        assert_eq!(Shape::new(&[1; MAX_RANK + 1]), Err(TensorError::EmptyShape));
+        assert!(Shape::new(&[1; MAX_RANK]).is_ok());
     }
 
     #[test]
@@ -206,5 +240,14 @@ mod tests {
     fn from_array_works() {
         let s: Shape = [2, 2].into();
         assert_eq!(s.volume(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        // Shapes of different ranks never compare equal, and identical
+        // dims always do — the invariant the zeroed tail maintains.
+        assert_eq!(Shape::of(&[2, 3]), Shape::of(&[2, 3]));
+        assert_ne!(Shape::of(&[2, 3]), Shape::of(&[2, 3, 1]));
+        assert_ne!(Shape::of(&[6]), Shape::of(&[6, 1]));
     }
 }

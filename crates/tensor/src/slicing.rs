@@ -1,6 +1,6 @@
 //! Sub-tensor extraction: row ranges, windows and axis selection.
 
-use crate::Tensor;
+use crate::{pool, Shape, Tensor};
 
 impl Tensor {
     /// Extracts rows `[start, end)` of a rank-2 tensor.
@@ -15,8 +15,10 @@ impl Tensor {
             start < end && end <= m,
             "invalid row range {start}..{end} for {m} rows"
         );
-        let data = self.data()[start * n..end * n].to_vec();
-        Tensor::from_vec(&[end - start, n], data).expect("slice_rows shape")
+        Tensor::pooled_copy(
+            Shape::of(&[end - start, n]),
+            &self.data()[start * n..end * n],
+        )
     }
 
     /// Extracts columns `[start, end)` of a rank-2 tensor.
@@ -32,11 +34,11 @@ impl Tensor {
             "invalid column range {start}..{end} for {n} columns"
         );
         let w = end - start;
-        let mut data = Vec::with_capacity(m * w);
+        let mut data = pool::take_uninit(m * w);
         for i in 0..m {
-            data.extend_from_slice(&self.data()[i * n + start..i * n + end]);
+            data[i * w..(i + 1) * w].copy_from_slice(&self.data()[i * n + start..i * n + end]);
         }
-        Tensor::from_vec(&[m, w], data).expect("slice_cols shape")
+        Tensor::from_shape_pooled(Shape::of(&[m, w]), data)
     }
 
     /// Extracts the `i`-th slab along axis 0 of a rank-3 tensor,
@@ -50,8 +52,7 @@ impl Tensor {
         let (d0, d1, d2) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         assert!(i < d0, "slab index {i} out of bounds for {d0}");
         let size = d1 * d2;
-        let data = self.data()[i * size..(i + 1) * size].to_vec();
-        Tensor::from_vec(&[d1, d2], data).expect("slab shape")
+        Tensor::pooled_copy(Shape::of(&[d1, d2]), &self.data()[i * size..(i + 1) * size])
     }
 
     /// Stacks rank-2 tensors of identical shape into a rank-3 tensor
@@ -64,12 +65,13 @@ impl Tensor {
         assert!(!slabs.is_empty(), "cannot stack zero slabs");
         let dims = slabs[0].dims().to_vec();
         assert_eq!(dims.len(), 2, "stack_slabs expects rank-2 tensors");
-        let mut data = Vec::with_capacity(slabs.len() * slabs[0].len());
+        let size = slabs[0].len();
+        let mut data = pool::take_uninit(slabs.len() * size);
         for (i, s) in slabs.iter().enumerate() {
             assert_eq!(s.dims(), &dims[..], "slab {i} has mismatched shape");
-            data.extend_from_slice(s.data());
+            data[i * size..(i + 1) * size].copy_from_slice(s.data());
         }
-        Tensor::from_vec(&[slabs.len(), dims[0], dims[1]], data).expect("stack_slabs shape")
+        Tensor::from_shape_pooled(Shape::of(&[slabs.len(), dims[0], dims[1]]), data)
     }
 
     /// Pads a rank-2 tensor with `before` zero-rows at the top.

@@ -1,16 +1,36 @@
 //! The core [`Tensor`] type: construction, accessors and reshaping.
 
-use crate::{Shape, TensorError};
+use crate::{pool, Shape, TensorError};
 
 /// A dense, row-major tensor of `f64` values.
 ///
 /// The workhorse value type of the workspace. Cloning copies the buffer;
 /// at EMA scale (tens of KiB) this is deliberate and keeps ownership
-/// simple for the autodiff tape built on top.
-#[derive(Debug, Clone, PartialEq)]
+/// simple for the autodiff tape built on top. Storage is drawn from the
+/// per-thread [`pool`] and recycled on drop, so the clone-heavy training
+/// loop reuses the same buffers epoch after epoch instead of touching
+/// the allocator.
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f64>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = pool::take_uninit(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self {
+            shape: self.shape,
+            data,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -32,6 +52,22 @@ impl Tensor {
             });
         }
         Ok(Self { shape, data })
+    }
+
+    /// Builds a tensor directly from a pooled buffer whose length is
+    /// already known to match the shape volume. Crate-internal fast
+    /// path for kernels that fully wrote `data`.
+    #[inline]
+    pub(crate) fn from_shape_pooled(shape: Shape, data: Vec<f64>) -> Self {
+        debug_assert_eq!(data.len(), shape.volume(), "pooled buffer length mismatch");
+        Self { shape, data }
+    }
+
+    /// Clones `src` into a pooled tensor of the given shape.
+    pub(crate) fn pooled_copy(shape: Shape, src: &[f64]) -> Self {
+        let mut data = pool::take_uninit(src.len());
+        data.copy_from_slice(src);
+        Self::from_shape_pooled(shape, data)
     }
 
     /// Builds a rank-1 tensor from a vector.
@@ -95,7 +131,7 @@ impl Tensor {
     #[must_use]
     pub fn filled(dims: &[usize], value: f64) -> Self {
         let shape = Shape::of(dims);
-        let data = vec![value; shape.volume()];
+        let data = pool::take_filled(shape.volume(), value);
         Self { shape, data }
     }
 
@@ -173,10 +209,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning the flat buffer.
+    /// Consumes the tensor, returning the flat buffer (which leaves the
+    /// pool's custody — `Drop` only recycles tensor-owned storage).
     #[must_use]
-    pub fn into_vec(self) -> Vec<f64> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f64> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-dimensional index.
@@ -232,10 +269,7 @@ impl Tensor {
                 to: dims.to_vec(),
             });
         }
-        Ok(Self {
-            shape,
-            data: self.data.clone(),
-        })
+        Ok(Self::pooled_copy(shape, &self.data))
     }
 
     /// Infallible reshape for shapes known to be compatible.

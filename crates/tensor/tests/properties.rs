@@ -27,6 +27,92 @@ fn matrix(max: usize) -> impl Fn(&mut Rng64) -> Tensor {
     }
 }
 
+/// An `[r, c]` matrix with roughly a quarter of its entries exactly
+/// `0.0`, so matmul's zero-skip branch is exercised on both sides.
+fn sparse_matrix(rng: &mut Rng64, r: usize, c: usize) -> Tensor {
+    let mut v = gen::vec_f64_len(rng, -1e2, 1e2, r * c);
+    for x in &mut v {
+        if gen::usize_in(rng, 0, 4) == 0 {
+            *x = 0.0;
+        }
+    }
+    Tensor::from_vec(&[r, c], v).unwrap()
+}
+
+/// Generator: a matmul-compatible sparse pair `a [m, k]`, `b [k, n]`.
+fn matmul_pair(rng: &mut Rng64) -> (Tensor, Tensor) {
+    let m = gen::usize_in(rng, 1, 10);
+    let k = gen::usize_in(rng, 1, 10);
+    let n = gen::usize_in(rng, 1, 10);
+    (sparse_matrix(rng, m, k), sparse_matrix(rng, k, n))
+}
+
+/// Generator: a `matmul_tn`-compatible pair `a [k, m]`, `b [k, n]`.
+fn tn_pair(rng: &mut Rng64) -> (Tensor, Tensor) {
+    let k = gen::usize_in(rng, 1, 10);
+    let m = gen::usize_in(rng, 1, 10);
+    let n = gen::usize_in(rng, 1, 10);
+    (sparse_matrix(rng, k, m), sparse_matrix(rng, k, n))
+}
+
+/// Generator: a `matmul_nt`-compatible pair `a [m, k]`, `b [n, k]`.
+fn nt_pair(rng: &mut Rng64) -> (Tensor, Tensor) {
+    let m = gen::usize_in(rng, 1, 10);
+    let k = gen::usize_in(rng, 1, 10);
+    let n = gen::usize_in(rng, 1, 10);
+    (sparse_matrix(rng, m, k), sparse_matrix(rng, n, k))
+}
+
+/// Generator: an addmm triple `x [m, k]`, `w [n, k]`, `bias [n]`.
+fn addmm_triple(rng: &mut Rng64) -> (Tensor, Tensor, Tensor) {
+    let m = gen::usize_in(rng, 1, 10);
+    let k = gen::usize_in(rng, 1, 10);
+    let n = gen::usize_in(rng, 1, 10);
+    (
+        sparse_matrix(rng, m, k),
+        sparse_matrix(rng, n, k),
+        Tensor::from_vec1(gen::vec_f64_len(rng, -1e2, 1e2, n)),
+    )
+}
+
+/// Reference matmul: the naive i-j-p triple loop implementing the
+/// kernel contract from `linalg.rs` verbatim — each output accumulates
+/// its k products in ascending-p order from `0.0`, skipping
+/// `lhs[i, p] == 0.0` — so every optimized kernel (plain ikj, tiled,
+/// `matmul_tn`, `matmul_nt`, `addmm`) must match it *bit for bit*.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    assert_eq!(k, b.dims()[0]);
+    let mut out = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                let aip = a.data()[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                acc += aip * b.data()[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(&[m, n], out).unwrap()
+}
+
+/// Exact equality: same dims, same f64 bit patterns (data is finite, so
+/// `==` on the slices is the bit comparison we want).
+fn assert_bit_identical(x: &Tensor, y: &Tensor) {
+    assert_eq!(x.dims(), y.dims(), "shape mismatch");
+    assert!(
+        x.data() == y.data(),
+        "kernel results differ bit-wise:\n  lhs: {:?}\n  rhs: {:?}",
+        x.data(),
+        y.data()
+    );
+}
+
 prop_tests! {
     fn add_commutes((a, b) in vec_pair) {
         assert_tensors_close(&a.add(&b), &b.add(&a), 1e-9);
@@ -166,5 +252,83 @@ prop_tests! {
         for _ in 0..64 {
             prop_assert!(a.next_u64() == b.next_u64());
         }
+    }
+
+    // ---- kernel bit-identity contract (see linalg.rs header) -------
+    // The transpose-aware and fused kernels exist so the autodiff
+    // backward pass stops materializing transposes; determinism
+    // requires they produce *bit-identical* results to the composed
+    // forms they replace, across random shapes and sparsity.
+
+    fn matmul_matches_naive_reference((a, b) in matmul_pair) {
+        assert_bit_identical(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    fn matmul_tn_matches_transpose_then_matmul((a, b) in tn_pair) {
+        let fused = a.matmul_tn(&b);
+        assert_bit_identical(&fused, &a.transpose().matmul(&b));
+        assert_bit_identical(&fused, &naive_matmul(&a.transpose(), &b));
+    }
+
+    fn matmul_nt_matches_matmul_of_transpose((a, b) in nt_pair) {
+        let fused = a.matmul_nt(&b);
+        assert_bit_identical(&fused, &a.matmul(&b.transpose()));
+        assert_bit_identical(&fused, &naive_matmul(&a, &b.transpose()));
+    }
+
+    fn addmm_matches_composed_pipeline((x, w, bias) in addmm_triple) {
+        let fused = x.addmm(&w, &bias);
+        let composed = x.matmul(&w.transpose()).add_row_broadcast(&bias);
+        assert_bit_identical(&fused, &composed);
+        assert_bit_identical(&fused, &naive_matmul(&x, &w.transpose()).add_row_broadcast(&bias));
+    }
+
+    // 64·65·64 multiply-adds with n = 65 > 64 forces the cache-blocked
+    // tile path; tiling i/j only must leave every accumulation order
+    // untouched. Few cases — each one is a quarter-million flops.
+    @cases(4)
+    fn blocked_matmul_matches_naive_reference(seed in gen::u64_below(1_000_000)) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = sparse_matrix(&mut rng, 64, 64);
+        let b = sparse_matrix(&mut rng, 64, 65);
+        assert_bit_identical(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    // Widths that decompose into every register-tile size of the inner
+    // kernel (32/16/8/4 + scalar tail); the random-dims generators top
+    // out at 10 columns and would never reach the wide tiles.
+    @cases(8)
+    fn wide_matmul_matches_naive_reference(seed in gen::u64_below(1_000_000)) {
+        let mut rng = Rng64::seed_from(seed);
+        for n in [13usize, 28, 52] {
+            let a = sparse_matrix(&mut rng, 5, 9);
+            let b = sparse_matrix(&mut rng, 9, n);
+            assert_bit_identical(&a.matmul(&b), &naive_matmul(&a, &b));
+        }
+    }
+
+    // ---- pooled `_into` twins match their allocating forms ---------
+
+    fn matmul_into_matches_allocating((a, b) in matmul_pair) {
+        let expected = a.matmul(&b);
+        // Start from garbage so a stale buffer can't fake a pass.
+        let mut out = Tensor::from_vec(
+            expected.dims(),
+            vec![f64::NAN; expected.len()],
+        ).unwrap();
+        a.matmul_into(&b, &mut out);
+        assert_bit_identical(&out, &expected);
+    }
+
+    fn add_into_matches_allocating((a, b) in vec_pair) {
+        let mut out = Tensor::from_vec1(vec![f64::NAN; a.len()]);
+        a.add_into(&b, &mut out);
+        assert_bit_identical(&out, &a.add(&b));
+    }
+
+    fn map_into_matches_allocating(a in vec_tensor) {
+        let mut out = Tensor::from_vec1(vec![f64::NAN; a.len()]);
+        a.map_into(f64::tanh, &mut out);
+        assert_bit_identical(&out, &a.map(f64::tanh));
     }
 }

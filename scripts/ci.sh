@@ -43,8 +43,27 @@ test -s results/obs/obs_loss_curve.jsonl
 test -s results/obs/obs_loss_curve.summary.json
 
 if [ "$WITH_BENCH" = 1 ]; then
-  echo "==> cargo bench (fast settings)"
-  EMA_BENCH_SAMPLES=3 EMA_BENCH_SAMPLE_MS=2 cargo bench --offline --workspace
+  echo "==> cargo bench"
+  # Snapshot the committed training-epoch suite *before* benching (the
+  # bench run overwrites results/BENCH_*.json in place), and stash the
+  # recorded suites so the CI rerun does not clobber them — they are
+  # restored after the gate. The rerun uses the harness's *default*
+  # sampling so its medians are methodology-identical to the committed
+  # baseline (the whole workspace suite costs well under a minute);
+  # short-budget reruns proved systematically biased on shared hosts.
+  mkdir -p target/bench_ci_stash
+  git show HEAD:results/BENCH_training_epoch.json > target/bench_baseline_training_epoch.json
+  cp results/BENCH_*.json target/bench_ci_stash/ 2>/dev/null || true
+  restore_bench_results() { cp target/bench_ci_stash/BENCH_*.json results/ 2>/dev/null || true; }
+  trap restore_bench_results EXIT
+  cargo bench --offline --workspace
+
+  echo "==> bench regression gate"
+  # Fails on any median >15% slower than the committed baseline; the
+  # tolerance (documented in bench_gate.rs) absorbs run-to-run noise
+  # while still catching hot-loop regressions.
+  cargo run --offline -q -p ema-bench --bin bench_gate -- \
+    target/bench_baseline_training_epoch.json results/BENCH_training_epoch.json
 fi
 
 echo "==> CI green"

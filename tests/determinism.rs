@@ -180,6 +180,26 @@ fn obs_modes_never_perturb_results_and_off_writes_nothing() {
     assert!(summary.exists(), "run summary JSON must exist");
 }
 
+/// Warm-pool invariance: running the same cohort twice in one process
+/// (so the second run draws recycled, stale-content buffers from the
+/// tensor pool — handed across runs by the executor's shelf) and at
+/// different thread counts must still emit byte-identical JSON. A
+/// kernel that reads a pooled buffer before overwriting it fails here.
+#[test]
+fn warm_buffer_pool_never_changes_results_json() {
+    let cold = tiny_results_json_with(&Executor::with_threads(4));
+    let warm = tiny_results_json_with(&Executor::with_threads(4));
+    assert!(
+        cold == warm,
+        "cold-pool vs warm-pool runs diverged:\n--- cold ---\n{cold}\n--- warm ---\n{warm}"
+    );
+    let sequential_warm = tiny_results_json_with(&Executor::sequential());
+    assert!(
+        warm == sequential_warm,
+        "warm pool: threads=4 vs threads=1 diverged:\n--- threads=4 ---\n{warm}\n--- threads=1 ---\n{sequential_warm}"
+    );
+}
+
 #[test]
 fn same_seed_training_yields_byte_identical_checkpoints() {
     use ema_models::{build_model, ModelConfig};
