@@ -3,12 +3,58 @@
 use crate::Var;
 use ema_tensor::Tensor;
 
+/// How one deferred per-window gradient piece is computed from a
+/// batched node's stacked gradient `g` and operand value `x` (both
+/// sliced to window `w`'s contiguous row block at replay time).
+///
+/// Each kind is the exact kernel call the per-window graph's backward
+/// pass makes for one use of the shared operand, so replaying pieces in
+/// the per-window order reproduces its accumulation bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PendingKind {
+    /// `piece_w = x_wᵀ · g_w` — `Op::Matmul`'s rhs gradient.
+    XtG,
+    /// `piece_w = g_wᵀ · x_w` — `Op::MatmulNT`'s / `Op::Addmm`'s
+    /// weight gradient.
+    GtX,
+    /// `piece_w = g_w · x_wᵀ` — `Op::Matmul`'s lhs gradient.
+    GntX,
+    /// `piece_w = col_sums(g_w)` — a bias/row gradient.
+    ColSums,
+}
+
+/// One batched node's deferred gradient contribution to a shared
+/// operand, recorded while the backward pass walks the batched graph
+/// and replayed per window when the pass reaches the operand itself.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingUse {
+    pub kind: PendingKind,
+    /// Tape index of the batched node whose gradient supplies the
+    /// per-window `g` blocks (always greater than the operand's index,
+    /// so its slot is still alive at finalize time).
+    pub g_node: usize,
+    /// Tape index of the node whose *value* supplies the per-window
+    /// `x` blocks (ignored by [`PendingKind::ColSums`]).
+    pub x_node: usize,
+    /// Number of window blocks.
+    pub wins: usize,
+    /// Grouped replay: fold this window's pieces into a temporary
+    /// before adding it to the slot (replicating a per-window
+    /// intermediate node in the reference graph) instead of adding
+    /// each piece directly.
+    pub grouped: bool,
+}
+
 /// Gradients for every node of a tape, indexed by [`Var`].
 ///
 /// Nodes that did not participate in the loss have no gradient (`None`).
 #[derive(Debug)]
 pub struct Grads {
     grads: Vec<Option<Tensor>>,
+    /// Per-node deferred uses from batched ops, in arrival (= node
+    /// descending) order. Reused across backward passes; every entry
+    /// is drained by the pass that filled it.
+    pending: Vec<Vec<PendingUse>>,
 }
 
 impl Grads {
@@ -19,11 +65,18 @@ impl Grads {
     /// recycled instead of reallocated every backward pass.
     #[must_use]
     pub fn empty() -> Self {
-        Self { grads: Vec::new() }
+        Self {
+            grads: Vec::new(),
+            pending: Vec::new(),
+        }
     }
 
-    pub(crate) fn slots_mut(&mut self) -> &mut Vec<Option<Tensor>> {
-        &mut self.grads
+    /// Gradient slots and the pending-use workspace, borrowed together
+    /// for the backward pass.
+    pub(crate) fn slots_and_pending_mut(
+        &mut self,
+    ) -> (&mut Vec<Option<Tensor>>, &mut Vec<Vec<PendingUse>>) {
+        (&mut self.grads, &mut self.pending)
     }
 
     /// The gradient of the loss with respect to `v`, if `v` influenced

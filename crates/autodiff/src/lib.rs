@@ -34,6 +34,7 @@ pub mod check;
 mod grads;
 mod op;
 mod tape;
+mod tape_ops_batched;
 mod tape_ops_linalg;
 mod tape_ops_nn;
 mod tape_ops_shape;

@@ -78,6 +78,38 @@ pub enum Op {
     Dropout(Var, Tensor),
     /// Stacks rank-1 parents into the rows of a matrix.
     StackRows(Vec<Var>),
+    /// Batched matrix product of a window-stacked lhs against one
+    /// shared rhs: `[W·r, k] x [k, n] -> [W·r, n]`. Forward is a single
+    /// `matmul`; backward keeps the stacked gradient dense but defers
+    /// the shared rhs gradient as per-window pieces replayed in the
+    /// per-window graph's accumulation order. Fields: x, rhs, window
+    /// count, grouped-replay flag (see `Grads`' pending machinery).
+    BatchedMatmul(Var, Var, usize, bool),
+    /// Batched `x · rhsᵀ` against one shared rhs:
+    /// `[W·r, k] x [n, k]ᵀ -> [W·r, n]`. Fields: x, rhs, window count.
+    BatchedMatmulNT(Var, Var, usize),
+    /// Batched fused linear layer `x·wᵀ + bias` with shared weights:
+    /// `[W·r, k] x [out, k]ᵀ + [out]`. Fields: x, w, bias, window count.
+    BatchedAddmm(Var, Var, Var, usize),
+    /// Shared `[c]` row added to every row of a `[W·r, c]` stack.
+    /// Fields: m, row, window count.
+    BatchedAddRow(Var, Var, usize),
+    /// Shared lhs times per-window blocks: `lhs: [p, q]` times each
+    /// `[q, n]` block of `x: [W·q, n]`, giving `[W·p, n]`. Fields:
+    /// lhs, x, window count.
+    BlockLhsMatmul(Var, Var, usize),
+    /// Blockwise product of two window stacks: block `w` of
+    /// `x: [W·m, k]` times block `w` of `y: [W·k, n]` -> `[W·m, n]`.
+    /// Fields: x, y, window count.
+    BlockMatmul(Var, Var, usize),
+    /// Blockwise `x_w · y_wᵀ`: block `w` of `x: [W·m, k]` times the
+    /// transpose of block `w` of `y: [W·n, k]` -> `[W·m, n]`. Fields:
+    /// x, y, window count.
+    BlockMatmulNT(Var, Var, usize),
+    /// Stacks `T` window-blocked states (each `[W·n, h]`) into
+    /// `[W·T, n·h]`: output block `w`, row `t` is the flattening of
+    /// state `t`'s block `w`. Fields: states, window count.
+    StackWindowBlocks(Vec<Var>, usize),
 }
 
 impl Op {
@@ -97,8 +129,16 @@ impl Op {
             | Op::AddRowBroadcast(a, b)
             | Op::MulRowBroadcast(a, b)
             | Op::HCat(a, b)
-            | Op::VCat(a, b) => vec![*a, *b],
-            Op::Addmm(a, b, c) | Op::GruCell(a, b, c) => vec![*a, *b, *c],
+            | Op::VCat(a, b)
+            | Op::BatchedMatmul(a, b, _, _)
+            | Op::BatchedMatmulNT(a, b, _)
+            | Op::BatchedAddRow(a, b, _)
+            | Op::BlockLhsMatmul(a, b, _)
+            | Op::BlockMatmul(a, b, _)
+            | Op::BlockMatmulNT(a, b, _) => vec![*a, *b],
+            Op::Addmm(a, b, c) | Op::GruCell(a, b, c) | Op::BatchedAddmm(a, b, c, _) => {
+                vec![*a, *b, *c]
+            }
             Op::AddScalar(a, _)
             | Op::Scale(a, _)
             | Op::Transpose(a)
@@ -115,6 +155,7 @@ impl Op {
             | Op::Reshape(a)
             | Op::Dropout(a, _) => vec![*a],
             Op::StackRows(vars) => vars.clone(),
+            Op::StackWindowBlocks(vars, _) => vars.clone(),
         }
     }
 

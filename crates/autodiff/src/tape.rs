@@ -1,7 +1,8 @@
 //! The tape: node storage, basic elementwise ops and the backward pass.
 
-use crate::{Grads, Op};
-use ema_tensor::Tensor;
+use crate::grads::{PendingKind, PendingUse};
+use crate::{tape_ops_batched, Grads, Op};
+use ema_tensor::{kernels, pool, Tensor};
 use std::cell::RefCell;
 
 /// A handle to a node on a [`Tape`].
@@ -65,6 +66,24 @@ impl Tape {
     /// parameters afterwards.
     pub fn reset(&mut self) {
         self.nodes.get_mut().clear();
+    }
+
+    /// [`Tape::reset`] keeping the first `keep` nodes alive — a
+    /// persistent prefix for graph parts that are constant across
+    /// epochs (e.g. the training target leaf). `Var` handles into the
+    /// prefix stay valid; everything after it is dropped (buffers
+    /// return to the tensor pool) and must be rebuilt.
+    ///
+    /// # Panics
+    /// Panics if fewer than `keep` nodes are recorded.
+    pub fn reset_to(&mut self, keep: usize) {
+        let nodes = self.nodes.get_mut();
+        assert!(
+            nodes.len() >= keep,
+            "reset_to({keep}) on a tape of {} nodes",
+            nodes.len()
+        );
+        nodes.truncate(keep);
     }
 
     /// Number of nodes recorded so far.
@@ -256,21 +275,34 @@ impl Tape {
             "backward requires a scalar loss, got shape {:?}",
             nodes[loss.0].value.dims()
         );
-        let grads = out.slots_mut();
+        let (grads, pending) = out.slots_and_pending_mut();
         grads.clear();
         grads.resize_with(nodes.len(), || None);
+        if pending.len() < nodes.len() {
+            pending.resize_with(nodes.len(), Vec::new);
+        }
         grads[loss.0] = Some(Tensor::from_vec1(vec![1.0]));
 
         let mut contribs: Vec<(Var, Tensor)> = Vec::new();
+        let mut deferred: Vec<(Var, PendingUse)> = Vec::new();
         for i in (0..=loss.0).rev() {
             // The tape is append-only, so every parent index is < i:
             // node i's gradient can be borrowed while the parents'
             // accumulators are written, with no clone of `g` and no
             // reallocation on accumulation.
             let (parents, rest) = grads.split_at_mut(i);
-            let Some(g) = rest[0].as_ref() else { continue };
+            let (slot_i, later) = rest.split_first_mut().expect("slot exists");
+            if !pending[i].is_empty() {
+                // Batched consumers above deposited deferred per-window
+                // pieces for this node; replay them into the slot in the
+                // per-window graph's accumulation order before this
+                // node's own backward step reads it.
+                finalize_pending(&nodes, i, &pending[i], slot_i, later);
+                pending[i].clear();
+            }
+            let Some(g) = slot_i.as_ref() else { continue };
             let node = &nodes[i];
-            backward_one(&nodes, &node.op, &node.value, g, &mut contribs);
+            backward_one(&nodes, i, &node.op, &node.value, g, &mut contribs, &mut deferred);
             for (parent, contrib) in contribs.drain(..) {
                 debug_assert!(parent.0 < i, "tape parents must precede children");
                 match &mut parents[parent.0] {
@@ -278,18 +310,145 @@ impl Tape {
                     slot @ None => *slot = Some(contrib),
                 }
             }
+            for (parent, use_) in deferred.drain(..) {
+                debug_assert!(parent.0 < i, "tape parents must precede children");
+                pending[parent.0].push(use_);
+            }
+        }
+    }
+}
+
+/// Replays a shared operand's deferred per-window gradient pieces into
+/// its slot, reproducing the per-window reference graph's accumulation
+/// exactly: windows in descending order (the order backward visits the
+/// per-window subgraphs), and within each window the uses in arrival
+/// (= node descending) order. `grouped` uses fold one window's pieces
+/// into a temporary first — replicating a per-window intermediate node
+/// (e.g. a per-window transpose) that summed its own uses locally
+/// before contributing once per window.
+fn finalize_pending(
+    nodes: &[Node],
+    i: usize,
+    uses: &[PendingUse],
+    slot: &mut Option<Tensor>,
+    later: &[Option<Tensor>],
+) {
+    debug_assert!(
+        slot.is_none(),
+        "deferred operands must have no dense contributions (node {i})"
+    );
+    let wins = uses[0].wins;
+    let grouped = uses[0].grouped;
+    debug_assert!(
+        uses.iter().all(|u| u.wins == wins && u.grouped == grouped),
+        "all deferred uses of one operand must agree on wins/grouping"
+    );
+    let piece_dims = nodes[i].value.dims().to_vec();
+    let piece_len = nodes[i].value.len();
+    let grad_of = |n: usize| -> &Tensor {
+        debug_assert!(n > i, "piece gradients must come from later nodes");
+        later[n - i - 1]
+            .as_ref()
+            .expect("batched node gradient alive at finalize time")
+    };
+    let mut scratch = pool::take_uninit(piece_len);
+    let mut group_tmp = if grouped {
+        Some(pool::take_uninit(piece_len))
+    } else {
+        None
+    };
+    for w in (0..wins).rev() {
+        let mut first_in_group = true;
+        for u in uses {
+            compute_piece(nodes, u, w, grad_of(u.g_node), &mut scratch);
+            match &mut group_tmp {
+                Some(tmp) => {
+                    if first_in_group {
+                        tmp.copy_from_slice(&scratch);
+                        first_in_group = false;
+                    } else {
+                        for (t, &s) in tmp.iter_mut().zip(scratch.iter()) {
+                            *t += s;
+                        }
+                    }
+                }
+                None => add_piece(slot, &scratch, &piece_dims),
+            }
+        }
+        if let Some(tmp) = &group_tmp {
+            add_piece(slot, tmp, &piece_dims);
+        }
+    }
+    pool::recycle(scratch);
+    if let Some(tmp) = group_tmp {
+        pool::recycle(tmp);
+    }
+}
+
+/// Adds one replayed piece to the operand's slot with the backward
+/// pass's set-or-accumulate semantics.
+fn add_piece(slot: &mut Option<Tensor>, piece: &[f64], dims: &[usize]) {
+    match slot {
+        Some(acc) => {
+            for (a, &p) in acc.data_mut().iter_mut().zip(piece) {
+                *a += p;
+            }
+        }
+        None => {
+            *slot = Some(Tensor::from_vec(dims, piece.to_vec()).expect("piece shape"));
+        }
+    }
+}
+
+/// Computes one per-window gradient piece into `out` — the exact kernel
+/// call the per-window reference graph's backward pass makes for this
+/// use, on window `w`'s contiguous row blocks.
+fn compute_piece(nodes: &[Node], u: &PendingUse, w: usize, g: &Tensor, out: &mut [f64]) {
+    let gd = g.data();
+    let (g_rows, g_cols) = (g.dims()[0] / u.wins, g.dims()[1]);
+    let g_w = &gd[w * g_rows * g_cols..(w + 1) * g_rows * g_cols];
+    match u.kind {
+        PendingKind::ColSums => kernels::col_sums_into(g_w, out, g_rows, g_cols),
+        kind => {
+            let x = &nodes[u.x_node].value;
+            let xd = x.data();
+            let (x_rows, x_cols) = (x.dims()[0] / u.wins, x.dims()[1]);
+            let x_w = &xd[w * x_rows * x_cols..(w + 1) * x_rows * x_cols];
+            match kind {
+                // rhs of Matmul: x_wᵀ [r,k]ᵀ · g_w [r,n] -> [k,n].
+                PendingKind::XtG => {
+                    kernels::matmul_tn_into(x_w, g_w, out, x_rows, x_cols, g_cols);
+                }
+                // rhs of MatmulNT / weight of Addmm:
+                // g_wᵀ [r,n]ᵀ · x_w [r,k] -> [n,k].
+                PendingKind::GtX => {
+                    kernels::matmul_tn_into(g_w, x_w, out, g_rows, g_cols, x_cols);
+                }
+                // lhs of a block matmul: g_w [p,n] · x_wᵀ [q,n]ᵀ -> [p,q].
+                PendingKind::GntX => {
+                    kernels::matmul_nt_into(g_w, x_w, out, g_rows, g_cols, x_rows);
+                }
+                PendingKind::ColSums => unreachable!(),
+            }
         }
     }
 }
 
 /// Computes the gradient contributions of one node to its parents,
-/// appending them to the caller's reusable `contribs` buffer.
+/// appending them to the caller's reusable `contribs` buffer. Batched
+/// ops additionally append deferred per-window uses for their shared
+/// operands to `deferred` (finalized when the backward loop reaches the
+/// operand); `i` is the node's own tape index, recorded as the
+/// gradient source of those pieces.
+#[allow(clippy::too_many_arguments)]
 fn backward_one(
     nodes: &[Node],
+    i: usize,
     op: &Op,
     out_value: &Tensor,
     g: &Tensor,
     contribs: &mut Vec<(Var, Tensor)>,
+    deferred: &mut Vec<(Var, PendingUse)>,
 ) {
     let val = |v: Var| &nodes[v.0].value;
     match *op {
@@ -439,6 +598,159 @@ fn backward_one(
         Op::Dropout(a, ref mask) => contribs.push((a, g.mul(mask))),
         Op::StackRows(ref vars) => {
             contribs.extend(vars.iter().enumerate().map(|(i, &v)| (v, g.row(i))));
+        }
+        Op::BatchedMatmul(x, rhs, wins, grouped) => {
+            // Stacked lhs gradient batches the per-window `g_w · rhsᵀ`
+            // rows (row-identical to the per-window kernel); the shared
+            // rhs gradient is replayed per window at finalize time.
+            contribs.push((x, g.matmul_nt(val(rhs))));
+            deferred.push((
+                rhs,
+                PendingUse {
+                    kind: PendingKind::XtG,
+                    g_node: i,
+                    x_node: x.0,
+                    wins,
+                    grouped,
+                },
+            ));
+        }
+        Op::BatchedMatmulNT(x, rhs, wins) => {
+            contribs.push((x, g.matmul(val(rhs))));
+            deferred.push((
+                rhs,
+                PendingUse {
+                    kind: PendingKind::GtX,
+                    g_node: i,
+                    x_node: x.0,
+                    wins,
+                    grouped: false,
+                },
+            ));
+        }
+        Op::BatchedAddmm(x, w, bias, wins) => {
+            contribs.push((x, g.matmul(val(w))));
+            deferred.push((
+                w,
+                PendingUse {
+                    kind: PendingKind::GtX,
+                    g_node: i,
+                    x_node: x.0,
+                    wins,
+                    grouped: false,
+                },
+            ));
+            deferred.push((
+                bias,
+                PendingUse {
+                    kind: PendingKind::ColSums,
+                    g_node: i,
+                    x_node: i,
+                    wins,
+                    grouped: false,
+                },
+            ));
+        }
+        Op::BatchedAddRow(m, r, wins) => {
+            contribs.push((m, g.clone()));
+            deferred.push((
+                r,
+                PendingUse {
+                    kind: PendingKind::ColSums,
+                    g_node: i,
+                    x_node: i,
+                    wins,
+                    grouped: false,
+                },
+            ));
+        }
+        Op::BlockLhsMatmul(lhs, x, wins) => {
+            // Per-block dx_w = lhsᵀ · g_w (the per-window Matmul rhs
+            // gradient, dense in the stack); shared lhs deferred. Like
+            // the forward, all W products share the lhs, so one
+            // `lhsᵀ · [g_0 | … | g_{W-1}]` on the column-permuted
+            // layout computes them in a single kernel call —
+            // bit-identical per element (and the lhsᵀ repack happens
+            // once instead of per window).
+            let lv = val(lhs);
+            let xv = val(x);
+            let (p, q) = (lv.dims()[0], lv.dims()[1]);
+            let n = xv.dims()[1];
+            let ghat = tape_ops_batched::gather_window_cols(g.data(), wins, p, n);
+            let mut dxhat = pool::take_uninit(q * wins * n);
+            kernels::matmul_tn_into(lv.data(), &ghat, &mut dxhat, p, q, wins * n);
+            pool::recycle(ghat);
+            let dx = tape_ops_batched::scatter_window_cols(&dxhat, wins, q, n);
+            pool::recycle(dxhat);
+            contribs.push((x, Tensor::from_vec(xv.dims(), dx).expect("block dx shape")));
+            deferred.push((
+                lhs,
+                PendingUse {
+                    kind: PendingKind::GntX,
+                    g_node: i,
+                    x_node: x.0,
+                    wins,
+                    grouped: false,
+                },
+            ));
+        }
+        Op::BlockMatmul(x, y, wins) => {
+            // Per block: dx_w = g_w · y_wᵀ, dy_w = x_wᵀ · g_w — both
+            // operands are window stacks, so both gradients stay dense.
+            let xv = val(x);
+            let yv = val(y);
+            let (m, k) = (xv.dims()[0] / wins, xv.dims()[1]);
+            let n = yv.dims()[1];
+            let mut dx = pool::take_uninit(xv.len());
+            let mut dy = pool::take_uninit(yv.len());
+            for w in 0..wins {
+                let g_w = &g.data()[w * m * n..(w + 1) * m * n];
+                let x_w = &xv.data()[w * m * k..(w + 1) * m * k];
+                let y_w = &yv.data()[w * k * n..(w + 1) * k * n];
+                kernels::matmul_nt_into(g_w, y_w, &mut dx[w * m * k..(w + 1) * m * k], m, n, k);
+                kernels::matmul_tn_into(x_w, g_w, &mut dy[w * k * n..(w + 1) * k * n], m, k, n);
+            }
+            contribs.extend([
+                (x, Tensor::from_vec(xv.dims(), dx).expect("block dx shape")),
+                (y, Tensor::from_vec(yv.dims(), dy).expect("block dy shape")),
+            ]);
+        }
+        Op::BlockMatmulNT(x, y, wins) => {
+            // Per block: dx_w = g_w · y_w, dy_w = g_wᵀ · x_w.
+            let xv = val(x);
+            let yv = val(y);
+            let (m, k) = (xv.dims()[0] / wins, xv.dims()[1]);
+            let n = yv.dims()[0] / wins;
+            let mut dx = pool::take_uninit(xv.len());
+            let mut dy = pool::take_uninit(yv.len());
+            for w in 0..wins {
+                let g_w = &g.data()[w * m * n..(w + 1) * m * n];
+                let x_w = &xv.data()[w * m * k..(w + 1) * m * k];
+                let y_w = &yv.data()[w * n * k..(w + 1) * n * k];
+                kernels::matmul_into(g_w, y_w, &mut dx[w * m * k..(w + 1) * m * k], m, n, k);
+                kernels::matmul_tn_into(g_w, x_w, &mut dy[w * n * k..(w + 1) * n * k], m, n, k);
+            }
+            contribs.extend([
+                (x, Tensor::from_vec(xv.dims(), dx).expect("block dx shape")),
+                (y, Tensor::from_vec(yv.dims(), dy).expect("block dy shape")),
+            ]);
+        }
+        Op::StackWindowBlocks(ref states, wins) => {
+            // Scatter the stacked gradient back: state t's block w is
+            // output block w's row t.
+            let t_count = states.len();
+            for (t, &s) in states.iter().enumerate() {
+                let sv = val(s);
+                let (rows, h) = (sv.dims()[0], sv.dims()[1]);
+                let n = rows / wins;
+                let block = n * h;
+                let mut d = pool::take_uninit(rows * h);
+                for w in 0..wins {
+                    d[w * block..(w + 1) * block]
+                        .copy_from_slice(&g.data()[(w * t_count + t) * block..(w * t_count + t + 1) * block]);
+                }
+                contribs.push((s, Tensor::from_vec(sv.dims(), d).expect("state grad shape")));
+            }
         }
     }
 }

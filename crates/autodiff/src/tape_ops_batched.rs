@@ -1,0 +1,486 @@
+//! Batched-window tape operations: one node per op across all windows.
+//!
+//! These power the batched forward path (`predict_batch` in
+//! `ema-models`): a window axis of `W` blocks is stacked into the row
+//! dimension, so an epoch records one node per model op instead of one
+//! per window per op. Every op here is **bit-identical** to its
+//! per-window twin in both directions:
+//!
+//! * forward — the matmul kernel contract (`ema_tensor::linalg`) makes
+//!   each output row's accumulation independent of the batch height,
+//!   so row block `w` matches the per-window op on window `w` exactly;
+//!   blockwise ops run the per-window kernel per block outright;
+//! * backward — gradients along the stacked axis stay dense (row
+//!   blocks again match per window), while gradients of *shared*
+//!   operands (parameters, memoized constants) are deferred as
+//!   per-window pieces and replayed in the per-window graph's
+//!   accumulation order when the backward pass reaches the operand
+//!   (see the pending machinery in `Grads`/`Tape::backward_into`).
+
+use crate::{Op, Tape, Var};
+use ema_tensor::{kernels, pool, Tensor};
+
+impl Tape {
+    /// Batched matrix product of a window-stacked lhs against one
+    /// shared rhs: `[W·r, k] x [k, n] -> [W·r, n]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row count.
+    pub fn batched_matmul(&self, x: Var, rhs: Var, wins: usize) -> Var {
+        let out = self.compute(|v| batched_rows_check(v[0], wins, v[0].matmul(v[1])), &[x, rhs]);
+        self.push(out, Op::BatchedMatmul(x, rhs, wins, false))
+    }
+
+    /// [`Tape::batched_matmul`] whose shared-rhs gradient pieces are
+    /// replayed *grouped*: each window's pieces fold into a temporary
+    /// before reaching the slot, replicating a per-window intermediate
+    /// node (e.g. a per-window transpose) in the reference graph.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row count.
+    pub fn batched_matmul_grouped(&self, x: Var, rhs: Var, wins: usize) -> Var {
+        let out = self.compute(|v| batched_rows_check(v[0], wins, v[0].matmul(v[1])), &[x, rhs]);
+        self.push(out, Op::BatchedMatmul(x, rhs, wins, true))
+    }
+
+    /// Batched `x · rhsᵀ` against one shared rhs:
+    /// `[W·r, k] x [n, k]ᵀ -> [W·r, n]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row count.
+    pub fn batched_matmul_nt(&self, x: Var, rhs: Var, wins: usize) -> Var {
+        let out = self.compute(|v| batched_rows_check(v[0], wins, v[0].matmul_nt(v[1])), &[x, rhs]);
+        self.push(out, Op::BatchedMatmulNT(x, rhs, wins))
+    }
+
+    /// Batched linear layer with shared weights: `x · wᵀ + bias` for
+    /// `x: [W·r, k]`, `w: [out, k]`, `bias: [out]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row count.
+    pub fn batched_linear(&self, x: Var, w: Var, bias: Var, wins: usize) -> Var {
+        let out = self.compute(
+            |v| batched_rows_check(v[0], wins, v[0].addmm(v[1], v[2])),
+            &[x, w, bias],
+        );
+        self.push(out, Op::BatchedAddmm(x, w, bias, wins))
+    }
+
+    /// Adds one shared `[c]` row vector to every row of a `[W·r, c]`
+    /// window stack.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row count.
+    pub fn batched_add_row_broadcast(&self, m: Var, row: Var, wins: usize) -> Var {
+        let out = self.compute(
+            |v| batched_rows_check(v[0], wins, v[0].add_row_broadcast(v[1])),
+            &[m, row],
+        );
+        self.push(out, Op::BatchedAddRow(m, row, wins))
+    }
+
+    /// Shared lhs times per-window blocks: `lhs: [p, q]` times each
+    /// `[q, n]` block of `x: [W·q, n]`, giving `[W·p, n]`. The forward
+    /// pass fuses all `W` products into **one** kernel call on a
+    /// column-permuted layout (see [`gather_window_cols`]): since the
+    /// lhs is shared, `lhs · [x_0 | x_1 | … | x_{W-1}]` computes every
+    /// block in a single `[p, q] x [q, W·n]` matmul. Each output
+    /// element keeps the exact per-window accumulation sequence
+    /// (ascending-`k` from `0.0`, same `lhs == 0.0` skips — the kernel
+    /// contract makes element results independent of the output
+    /// width), so this is bit-identical to `W` separate `matmul`
+    /// nodes while amortizing the lhs across all windows.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row count.
+    pub fn block_lhs_matmul(&self, lhs: Var, x: Var, wins: usize) -> Var {
+        let out = self.compute(
+            |v| {
+                let (lhs, x) = (v[0], v[1]);
+                let (p, q) = (lhs.dims()[0], lhs.dims()[1]);
+                let n = x.dims()[1];
+                assert_eq!(
+                    x.dims()[0],
+                    wins * q,
+                    "block_lhs_matmul: x rows must be wins ({wins}) x lhs cols ({q})"
+                );
+                let xhat = gather_window_cols(x.data(), wins, q, n);
+                let mut yhat = pool::take_uninit(p * wins * n);
+                kernels::matmul_into(lhs.data(), &xhat, &mut yhat, p, q, wins * n);
+                pool::recycle(xhat);
+                let out = scatter_window_cols(&yhat, wins, p, n);
+                pool::recycle(yhat);
+                Tensor::from_vec(&[wins * p, n], out).expect("block_lhs_matmul shape")
+            },
+            &[lhs, x],
+        );
+        self.push(out, Op::BlockLhsMatmul(lhs, x, wins))
+    }
+
+    /// Blockwise product of two window stacks: block `w` of
+    /// `x: [W·m, k]` times block `w` of `y: [W·k, n]` -> `[W·m, n]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row counts.
+    pub fn block_matmul(&self, x: Var, y: Var, wins: usize) -> Var {
+        let out = self.compute(
+            |v| {
+                let (x, y) = (v[0], v[1]);
+                let (m, k) = (block_rows(x, wins, "block_matmul x"), x.dims()[1]);
+                let (ky, n) = (block_rows(y, wins, "block_matmul y"), y.dims()[1]);
+                assert_eq!(k, ky, "block_matmul inner dimension mismatch");
+                let mut out = pool::take_uninit(wins * m * n);
+                for w in 0..wins {
+                    kernels::matmul_into(
+                        &x.data()[w * m * k..(w + 1) * m * k],
+                        &y.data()[w * k * n..(w + 1) * k * n],
+                        &mut out[w * m * n..(w + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(&[wins * m, n], out).expect("block_matmul shape")
+            },
+            &[x, y],
+        );
+        self.push(out, Op::BlockMatmul(x, y, wins))
+    }
+
+    /// Blockwise `x_w · y_wᵀ`: block `w` of `x: [W·m, k]` times the
+    /// transpose of block `w` of `y: [W·n, k]` -> `[W·m, n]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or when `wins` does not divide the
+    /// stacked row counts.
+    pub fn block_matmul_nt(&self, x: Var, y: Var, wins: usize) -> Var {
+        let out = self.compute(
+            |v| {
+                let (x, y) = (v[0], v[1]);
+                let (m, k) = (block_rows(x, wins, "block_matmul_nt x"), x.dims()[1]);
+                let (n, ky) = (block_rows(y, wins, "block_matmul_nt y"), y.dims()[1]);
+                assert_eq!(k, ky, "block_matmul_nt trailing dimension mismatch");
+                let mut out = pool::take_uninit(wins * m * n);
+                for w in 0..wins {
+                    kernels::matmul_nt_into(
+                        &x.data()[w * m * k..(w + 1) * m * k],
+                        &y.data()[w * n * k..(w + 1) * n * k],
+                        &mut out[w * m * n..(w + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(&[wins * m, n], out).expect("block_matmul_nt shape")
+            },
+            &[x, y],
+        );
+        self.push(out, Op::BlockMatmulNT(x, y, wins))
+    }
+
+    /// Stacks `T` window-blocked states (each `[W·n, h]`) into
+    /// `[W·T, n·h]`: output block `w`, row `t` holds the flattening of
+    /// state `t`'s block `w`. The batched twin of flattening each
+    /// state and stacking the flattenings per window.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty, shapes differ, or `wins` does not
+    /// divide the row counts.
+    pub fn stack_window_blocks(&self, states: &[Var], wins: usize) -> Var {
+        assert!(!states.is_empty(), "cannot stack zero states");
+        let t_count = states.len();
+        let out = self.compute(
+            |v| {
+                let (rows, h) = (v[0].dims()[0], v[0].dims()[1]);
+                let n = block_rows(v[0], wins, "stack_window_blocks");
+                let block = n * h;
+                let mut out = pool::take_uninit(wins * t_count * block);
+                for (t, s) in v.iter().enumerate() {
+                    assert_eq!(s.dims(), &[rows, h], "state {t} shape mismatch");
+                    for w in 0..wins {
+                        out[(w * t_count + t) * block..(w * t_count + t + 1) * block]
+                            .copy_from_slice(&s.data()[w * block..(w + 1) * block]);
+                    }
+                }
+                Tensor::from_vec(&[wins * t_count, block], out).expect("stack_window_blocks shape")
+            },
+            states,
+        );
+        self.push(out, Op::StackWindowBlocks(states.to_vec(), wins))
+    }
+
+    /// Applies a pre-drawn inverted-dropout mask (entries `0` or
+    /// `1/(1-p)`). The batched forward path draws all windows' masks
+    /// up front in window-major order so the RNG consumes draws in
+    /// exactly the per-window sequence (see `Tape::dropout`), then
+    /// applies each via this op. Backward is identical to
+    /// [`Tape::dropout`]'s.
+    ///
+    /// # Panics
+    /// Panics if the mask's shape differs from the input's.
+    pub fn dropout_masked(&self, a: Var, mask: Tensor) -> Var {
+        let out = self.compute(
+            |v| {
+                assert_eq!(v[0].dims(), mask.dims(), "dropout mask shape mismatch");
+                v[0].mul(&mask)
+            },
+            &[a],
+        );
+        self.push(out, Op::Dropout(a, mask))
+    }
+}
+
+/// Asserts the stacked row count divides into `wins` blocks and passes
+/// the computed output through.
+fn batched_rows_check(x: &Tensor, wins: usize, out: Tensor) -> Tensor {
+    assert!(wins > 0, "batched op needs at least one window");
+    assert_eq!(
+        x.dims()[0] % wins,
+        0,
+        "stacked rows {} not divisible by window count {wins}",
+        x.dims()[0]
+    );
+    out
+}
+
+/// Gathers a window stack `[W·r, n]` into the column-concatenated
+/// layout `[r, W·n]`: element `(w·r + i, c)` lands at `(i, w·n + c)`.
+/// The result is a pooled buffer — recycle it when done. A matmul
+/// against this layout computes all `W` per-window products in one
+/// call without changing any output element's accumulation sequence.
+pub(crate) fn gather_window_cols(x: &[f64], wins: usize, r: usize, n: usize) -> Vec<f64> {
+    let mut xhat = pool::take_uninit(r * wins * n);
+    for w in 0..wins {
+        for i in 0..r {
+            xhat[i * wins * n + w * n..i * wins * n + (w + 1) * n]
+                .copy_from_slice(&x[(w * r + i) * n..(w * r + i + 1) * n]);
+        }
+    }
+    xhat
+}
+
+/// Inverse of [`gather_window_cols`]: scatters `[r, W·n]` back into the
+/// window-stacked `[W·r, n]` layout, into a fresh pooled buffer.
+pub(crate) fn scatter_window_cols(yhat: &[f64], wins: usize, r: usize, n: usize) -> Vec<f64> {
+    let mut out = pool::take_uninit(wins * r * n);
+    for w in 0..wins {
+        for i in 0..r {
+            out[(w * r + i) * n..(w * r + i + 1) * n]
+                .copy_from_slice(&yhat[i * wins * n + w * n..i * wins * n + (w + 1) * n]);
+        }
+    }
+    out
+}
+
+/// Rows per window block of a stacked operand.
+fn block_rows(x: &Tensor, wins: usize, what: &str) -> usize {
+    assert!(wins > 0, "{what}: needs at least one window");
+    assert_eq!(
+        x.dims()[0] % wins,
+        0,
+        "{what}: stacked rows {} not divisible by window count {wins}",
+        x.dims()[0]
+    );
+    x.dims()[0] / wins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_tensor::Rng64;
+
+    fn rand(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng64::seed_from(seed);
+        Tensor::rand_normal(dims, 0.0, 1.0, &mut rng)
+    }
+
+    /// Runs the same computation per window on a reference tape and
+    /// asserts stacked values and every shared/stacked gradient match
+    /// bit for bit.
+    #[test]
+    fn batched_matmul_matches_per_window_graph() {
+        let wins = 3;
+        let (r, k, n) = (2, 4, 5);
+        let xv = rand(&[wins * r, k], 1);
+        let rhsv = rand(&[k, n], 2);
+
+        let tape = Tape::new();
+        let x = tape.leaf(xv.clone());
+        let rhs = tape.leaf(rhsv.clone());
+        let out = tape.batched_matmul(x, rhs, wins);
+        let loss = tape.mean_all(tape.square(out));
+        let grads = tape.backward(loss);
+
+        let reference = Tape::new();
+        let rrhs = reference.leaf(rhsv);
+        let mut outs = Vec::new();
+        let mut xs = Vec::new();
+        for w in 0..wins {
+            let xw = reference.leaf(xv.slice_rows(w * r, (w + 1) * r));
+            xs.push(xw);
+            outs.push(reference.matmul(xw, rrhs));
+        }
+        // Stack per-window outputs by vcat to get the same loss.
+        let stacked = outs
+            .iter()
+            .skip(1)
+            .fold(outs[0], |acc, &o| reference.vcat(acc, o));
+        let rloss = reference.mean_all(reference.square(stacked));
+        let rgrads = reference.backward(rloss);
+
+        assert_eq!(tape.value(out).data(), {
+            let mut all = Vec::new();
+            for &o in &outs {
+                all.extend_from_slice(reference.value(o).data());
+            }
+            all
+        });
+        assert_eq!(tape.value(loss).data(), reference.value(rloss).data());
+        // Shared rhs gradient: replayed pieces must equal the
+        // per-window accumulation bit for bit.
+        assert_eq!(
+            grads.get(rhs).unwrap().data(),
+            rgrads.get(rrhs).unwrap().data()
+        );
+        // Stacked x gradient row blocks match the per-window ones.
+        let dx = grads.get(x).unwrap();
+        for (w, &xw) in xs.iter().enumerate() {
+            assert_eq!(
+                &dx.data()[w * r * k..(w + 1) * r * k],
+                rgrads.get(xw).unwrap().data()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_linear_matches_per_window_graph() {
+        let wins = 4;
+        let (r, k, o) = (3, 5, 2);
+        let xv = rand(&[wins * r, k], 3);
+        let wv = rand(&[o, k], 4);
+        let bv = rand(&[o], 5);
+
+        let tape = Tape::new();
+        let x = tape.leaf(xv.clone());
+        let w = tape.leaf(wv.clone());
+        let b = tape.leaf(bv.clone());
+        let out = tape.batched_linear(x, w, b, wins);
+        let loss = tape.mean_all(tape.square(out));
+        let grads = tape.backward(loss);
+
+        let reference = Tape::new();
+        let rw = reference.leaf(wv);
+        let rb = reference.leaf(bv);
+        let mut outs = Vec::new();
+        for win in 0..wins {
+            let xw = reference.leaf(xv.slice_rows(win * r, (win + 1) * r));
+            outs.push(reference.linear(xw, rw, rb));
+        }
+        let stacked = outs
+            .iter()
+            .skip(1)
+            .fold(outs[0], |acc, &o| reference.vcat(acc, o));
+        let rloss = reference.mean_all(reference.square(stacked));
+        let rgrads = reference.backward(rloss);
+
+        assert_eq!(tape.value(loss).data(), reference.value(rloss).data());
+        assert_eq!(grads.get(w).unwrap().data(), rgrads.get(rw).unwrap().data());
+        assert_eq!(grads.get(b).unwrap().data(), rgrads.get(rb).unwrap().data());
+    }
+
+    #[test]
+    fn block_lhs_matmul_matches_per_window_graph() {
+        let wins = 3;
+        let (p, q, n) = (4, 4, 2);
+        let lhsv = rand(&[p, q], 6);
+        let xv = rand(&[wins * q, n], 7);
+
+        let tape = Tape::new();
+        let lhs = tape.leaf(lhsv.clone());
+        let x = tape.leaf(xv.clone());
+        let out = tape.block_lhs_matmul(lhs, x, wins);
+        let loss = tape.mean_all(tape.square(out));
+        let grads = tape.backward(loss);
+
+        let reference = Tape::new();
+        let rlhs = reference.leaf(lhsv);
+        let mut outs = Vec::new();
+        for w in 0..wins {
+            let xw = reference.leaf(xv.slice_rows(w * q, (w + 1) * q));
+            outs.push(reference.matmul(rlhs, xw));
+        }
+        let stacked = outs
+            .iter()
+            .skip(1)
+            .fold(outs[0], |acc, &o| reference.vcat(acc, o));
+        let rloss = reference.mean_all(reference.square(stacked));
+        let rgrads = reference.backward(rloss);
+
+        assert_eq!(tape.value(out).dims(), &[wins * p, n]);
+        assert_eq!(tape.value(loss).data(), reference.value(rloss).data());
+        assert_eq!(
+            grads.get(lhs).unwrap().data(),
+            rgrads.get(rlhs).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn stack_window_blocks_roundtrip() {
+        let wins = 2;
+        let (n, h) = (3, 2);
+        let s0 = rand(&[wins * n, h], 8);
+        let s1 = rand(&[wins * n, h], 9);
+
+        let tape = Tape::new();
+        let v0 = tape.leaf(s0.clone());
+        let v1 = tape.leaf(s1.clone());
+        let stacked = tape.stack_window_blocks(&[v0, v1], wins);
+        assert_eq!(tape.dims(stacked), vec![wins * 2, n * h]);
+        // Block w row t == flattened block w of state t.
+        let sv = tape.value(stacked);
+        for w in 0..wins {
+            assert_eq!(
+                &sv.data()[(w * 2) * n * h..(w * 2 + 1) * n * h],
+                &s0.data()[w * n * h..(w + 1) * n * h]
+            );
+            assert_eq!(
+                &sv.data()[(w * 2 + 1) * n * h..(w * 2 + 2) * n * h],
+                &s1.data()[w * n * h..(w + 1) * n * h]
+            );
+        }
+        // Backward scatters straight back.
+        let loss = tape.mean_all(tape.square(stacked));
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(v0).unwrap().dims(), &[wins * n, h]);
+        assert_eq!(grads.get(v1).unwrap().dims(), &[wins * n, h]);
+    }
+
+    #[test]
+    fn dropout_masked_matches_dropout_node() {
+        let a_val = rand(&[4, 3], 10);
+        let mask = {
+            let mut rng = Rng64::seed_from(11);
+            let mut m = Tensor::zeros(&[4, 3]);
+            for v in m.data_mut() {
+                if rng.bernoulli(0.8) {
+                    *v = 1.0 / 0.8;
+                }
+            }
+            m
+        };
+        let tape = Tape::new();
+        let a = tape.leaf(a_val.clone());
+        let d = tape.dropout_masked(a, mask.clone());
+        assert_eq!(tape.value(d).data(), a_val.mul(&mask).data());
+        let loss = tape.mean_all(tape.square(d));
+        let grads = tape.backward(loss);
+        assert!(grads.get(a).is_some());
+    }
+}

@@ -574,6 +574,195 @@ fn grad_gru_cell_all_three_parents() {
 }
 
 #[test]
+fn grad_batched_matmul_both_parents() {
+    // 3 windows of 2 rows sharing one rhs.
+    let x = rand(&[6, 4], 80);
+    let rhs = rand(&[4, 3], 81);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let r = t.leaf(rhs.clone());
+        let p = t.batched_matmul(v, r, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&rhs, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let p = t.batched_matmul(xl, v, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_batched_matmul_grouped_replay() {
+    // The grouped flag only changes accumulation association on the
+    // shared side — the analytic gradient must still match finite
+    // differences exactly.
+    let x = rand(&[6, 4], 82);
+    let rhs = rand(&[4, 1], 83);
+    assert_gradients_close(&rhs, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let p = t.batched_matmul_grouped(xl, v, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_batched_matmul_nt_both_parents() {
+    let x = rand(&[6, 4], 84);
+    let rhs = rand(&[3, 4], 85);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let r = t.leaf(rhs.clone());
+        let p = t.batched_matmul_nt(v, r, 2);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&rhs, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let p = t.batched_matmul_nt(xl, v, 2);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_batched_linear_all_three_parents() {
+    let x = rand(&[6, 3], 86);
+    let w = rand(&[5, 3], 87);
+    let b = rand(&[5], 88);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let wl = t.leaf(w.clone());
+        let bl = t.leaf(b.clone());
+        let y = t.batched_linear(v, wl, bl, 3);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&w, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let bl = t.leaf(b.clone());
+        let y = t.batched_linear(xl, v, bl, 3);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&b, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let wl = t.leaf(w.clone());
+        let y = t.batched_linear(xl, wl, v, 3);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_batched_add_row_broadcast_both_parents() {
+    let m = rand(&[6, 3], 89);
+    let row = rand(&[3], 90);
+    assert_gradients_close(&m, TOL, |t, v| {
+        let r = t.leaf(row.clone());
+        let y = t.batched_add_row_broadcast(v, r, 3);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&row, TOL, |t, v| {
+        let ml = t.leaf(m.clone());
+        let y = t.batched_add_row_broadcast(ml, v, 3);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_block_lhs_matmul_both_parents() {
+    // Shared [2, 3] lhs against 3 window blocks of [3, 4].
+    let lhs = rand(&[2, 3], 91);
+    let x = rand(&[9, 4], 92);
+    assert_gradients_close(&lhs, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let p = t.block_lhs_matmul(v, xl, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&x, TOL, |t, v| {
+        let ll = t.leaf(lhs.clone());
+        let p = t.block_lhs_matmul(ll, v, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_block_matmul_both_parents() {
+    // Per-window [2, 3] x [3, 4] products.
+    let x = rand(&[6, 3], 93);
+    let y = rand(&[9, 4], 94);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let yl = t.leaf(y.clone());
+        let p = t.block_matmul(v, yl, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&y, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let p = t.block_matmul(xl, v, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_block_matmul_nt_both_parents() {
+    // Per-window [2, 3] x [4, 3]ᵀ products.
+    let x = rand(&[6, 3], 95);
+    let y = rand(&[12, 3], 96);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let yl = t.leaf(y.clone());
+        let p = t.block_matmul_nt(v, yl, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+    assert_gradients_close(&y, TOL, |t, v| {
+        let xl = t.leaf(x.clone());
+        let p = t.block_matmul_nt(xl, v, 3);
+        let sq = t.square(p);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_stack_window_blocks() {
+    // Two states of 2 windows x 3 rows x 2 cols; reuse one state to test
+    // gradient accumulation across stack positions.
+    let x = rand(&[6, 2], 97);
+    let other = rand(&[6, 2], 98);
+    assert_gradients_close(&x, TOL, |t, v| {
+        let o = t.leaf(other.clone());
+        let s = t.stack_window_blocks(&[v, o, v], 2);
+        let sq = t.square(s);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_dropout_masked() {
+    let x = rand(&[4, 3], 99);
+    let mask = {
+        let mut rng = Rng64::seed_from(100);
+        let mut m = Tensor::zeros(&[4, 3]);
+        for v in m.data_mut() {
+            if rng.bernoulli(0.6) {
+                *v = 1.0 / 0.6;
+            }
+        }
+        m
+    };
+    assert_gradients_close(&x, TOL, |t, v| {
+        let d = t.dropout_masked(v, mask.clone());
+        let sq = t.square(d);
+        t.sum_all(sq)
+    });
+}
+
+#[test]
 fn tape_reuse_multiple_backwards() {
     // Two backward passes over the same tape agree.
     let tape = Tape::new();

@@ -57,4 +57,4 @@ pub use pipeline::{
     IndividualOutcome, RunSpec,
 };
 pub use results::{BoxplotStats, CellStat, ResultTable};
-pub use train::{train_model, TrainConfig, TrainReport};
+pub use train::{train_model, ForwardPath, TrainConfig, TrainReport};

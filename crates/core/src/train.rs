@@ -2,11 +2,28 @@
 
 use ema_autodiff::{Grads, Tape};
 use ema_data::WindowedData;
-use ema_models::{Forecaster, ForwardCtx};
+use ema_models::{Forecaster, ForwardCtx, WindowBatch};
 use ema_nn::{global_grad_norm, Adam, Optimizer, OptimizerConfig};
 use ema_obs::metrics::{EPOCH_BUCKETS, GRAD_NORM_BUCKETS, LOSS_BUCKETS};
 use ema_obs::point;
 use ema_tensor::{Rng64, Tensor};
+
+/// Which forward graph [`train_model`] builds each epoch. Both paths
+/// are bit-identical in results (enforced by the batched-equivalence
+/// property tests and `tests/determinism.rs`); they differ only in
+/// tape-graph shape and speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardPath {
+    /// One batched graph over all windows via
+    /// [`Forecaster::predict_batch`] — O(depth) tape nodes per epoch.
+    /// The hot path and the default.
+    #[default]
+    Batched,
+    /// One subgraph per window via [`Forecaster::predict_window`] —
+    /// O(W·depth) nodes. The reference oracle, kept for equivalence
+    /// testing and debugging.
+    PerWindow,
+}
 
 /// Training hyper-parameters. Defaults follow the paper: Adam with
 /// lr = 0.01, one batch per individual, 300 epochs, dropout handled by
@@ -29,6 +46,8 @@ pub struct TrainConfig {
     /// Early-stopping patience in epochs. Only meaningful when
     /// `early_stop_rel > 0`; ignored otherwise (see `early_stop_rel`).
     pub patience: usize,
+    /// Which forward graph to build each epoch (default: batched).
+    pub forward_path: ForwardPath,
 }
 
 impl Default for TrainConfig {
@@ -40,6 +59,7 @@ impl Default for TrainConfig {
             seed: 7,
             early_stop_rel: 0.0,
             patience: 25,
+            forward_path: ForwardPath::default(),
         }
     }
 }
@@ -129,23 +149,36 @@ pub fn train_model(
     let mut early_stopped = false;
     let mut best = f64::INFINITY;
     let mut since_best = 0usize;
-    // One tape and one gradient workspace for the whole run: reset()
+    // One tape and one gradient workspace for the whole run: reset
     // keeps the node storage between epochs and recycles every tensor
     // buffer through the pool, so steady-state epochs allocate almost
     // nothing. Vars do not survive reset, so parameters rebind per epoch.
     let mut tape = Tape::new();
     let mut grads = Grads::empty();
+    // The stacked input batch and the target matrix are constant across
+    // epochs: build the batch once and push the target leaf as a
+    // persistent tape prefix that `reset_to` keeps alive.
+    let batch = match config.forward_path {
+        ForwardPath::Batched => Some(WindowBatch::from_windows(&windows.inputs)),
+        ForwardPath::PerWindow => None,
+    };
+    let tgt = tape.leaf(targets);
+    let keep = tape.len();
     for epoch in 0..config.epochs {
-        tape.reset();
+        tape.reset_to(keep);
         let binding = model.params().bind(&tape);
         let mut ctx = ForwardCtx::train(&mut rng);
-        let preds: Vec<_> = windows
-            .inputs
-            .iter()
-            .map(|w| model.predict_window(&tape, &binding, w, &mut ctx))
-            .collect();
-        let stacked = tape.stack_rows(&preds);
-        let tgt = tape.leaf(targets.clone());
+        let stacked = match &batch {
+            Some(batch) => model.predict_batch(&tape, &binding, batch, &mut ctx),
+            None => {
+                let preds: Vec<_> = windows
+                    .inputs
+                    .iter()
+                    .map(|w| model.predict_window(&tape, &binding, w, &mut ctx))
+                    .collect();
+                tape.stack_rows(&preds)
+            }
+        };
         let loss = tape.mse(stacked, tgt);
         let loss_value = tape.value(loss).data()[0];
         losses.push(loss_value);
@@ -187,15 +220,19 @@ pub fn train_model(
 }
 
 /// Predicts every window in evaluation mode, returning `[n, V]`.
+///
+/// Runs the batched forward (one tape graph for all windows); eval
+/// mode draws no randomness, so the rows are bit-identical to
+/// per-window [`Forecaster::predict`] calls.
 #[must_use]
 pub fn predict_all(model: &dyn Forecaster, windows: &WindowedData, seed: u64) -> Tensor {
     let mut rng = Rng64::seed_from(seed);
-    let rows: Vec<Tensor> = windows
-        .inputs
-        .iter()
-        .map(|w| model.predict(w, &mut rng))
-        .collect();
-    Tensor::stack_rows(&rows)
+    let batch = WindowBatch::from_windows(&windows.inputs);
+    let tape = Tape::new();
+    let binding = model.params().bind(&tape);
+    let mut ctx = ForwardCtx::eval(&mut rng);
+    let out = model.predict_batch(&tape, &binding, &batch, &mut ctx);
+    tape.value(out)
 }
 
 #[cfg(test)]

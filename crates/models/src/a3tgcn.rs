@@ -6,8 +6,8 @@
 //! attention module pools the hidden states into a context that a
 //! per-node head maps to the 1-lag prediction.
 
-use crate::gcn::gcn_layer;
-use crate::{Forecaster, ForwardCtx, ModelConfig};
+use crate::gcn::{gcn_layer, gcn_layer_batched};
+use crate::{Forecaster, ForwardCtx, ModelConfig, WindowBatch};
 use ema_autodiff::{Tape, Var};
 use ema_graph::{normalize, AdjacencyMatrix};
 use ema_nn::{Binding, Initializer, ParamId, ParamStore, TemporalAttention};
@@ -135,6 +135,52 @@ impl A3tgcn {
         let c_minus_uc = tape.sub(c, uc);
         tape.add(uh, c_minus_uc)
     }
+
+    /// [`A3tgcn::tgcn_step`] over `wins` window row-blocks:
+    /// `x: [W·V, 1]`, `h: [W·V, H]`, mirroring the per-window op order
+    /// exactly so every row block — and every parameter-gradient
+    /// accumulation — is bit-identical.
+    fn tgcn_step_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        a_hat: Var,
+        x: Var,
+        h: Var,
+        wins: usize,
+    ) -> Var {
+        let xh = tape.hcat(x, h); // [W·V, 1 + H]
+        let xh_prop = tape.block_lhs_matmul(a_hat, xh, wins); // [W·V, 1 + H]
+        let u_pre = tape.batched_linear(
+            xh_prop,
+            binding.var(self.update.w),
+            binding.var(self.update.b),
+            wins,
+        );
+        let u = tape.sigmoid(u_pre);
+        let r_pre = tape.batched_linear(
+            xh_prop,
+            binding.var(self.reset.w),
+            binding.var(self.reset.b),
+            wins,
+        );
+        let r = tape.sigmoid(r_pre);
+        let rh = tape.mul(r, h);
+        let xrh = tape.hcat(x, rh);
+        let c_pre = gcn_layer_batched(
+            tape,
+            a_hat,
+            xrh,
+            binding.var(self.candidate.w),
+            binding.var(self.candidate.b),
+            wins,
+        );
+        let c = tape.tanh(c_pre);
+        let uh = tape.mul(u, h);
+        let uc = tape.mul(u, c);
+        let c_minus_uc = tape.sub(c, uc);
+        tape.add(uh, c_minus_uc)
+    }
 }
 
 impl Forecaster for A3tgcn {
@@ -184,6 +230,46 @@ impl Forecaster for A3tgcn {
         let dropped = tape.dropout(ctx_state, self.dropout, ctx.training, ctx.rng);
         let pred = tape.linear(dropped, binding.var(self.head_w), binding.var(self.head_b)); // [V, 1]
         tape.flatten(pred)
+    }
+
+    fn predict_batch(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        batch: &WindowBatch,
+        ctx: &mut ForwardCtx,
+    ) -> Var {
+        assert_eq!(batch.num_vars(), self.num_variables, "batch width");
+        let wins = batch.wins();
+        let seq = batch.seq_len();
+        let v = self.num_variables;
+        let a_hat = ctx.memo("a3tgcn_a_hat", || tape.leaf(self.a_hat.clone()));
+        let mut h = ctx.memo("a3tgcn_h0", || {
+            tape.leaf(Tensor::zeros(&[wins * v, self.hidden]))
+        });
+        let mut states = Vec::with_capacity(seq);
+        for t in 0..seq {
+            // Step t's [W, V] rows reshape to the window-blocked
+            // [W·V, 1] node-feature column.
+            let x = tape.leaf(batch.step(t).reshaped(&[wins * v, 1]));
+            h = self.tgcn_step_batched(tape, binding, a_hat, x, h, wins);
+            states.push(h);
+        }
+        let ctx_state = if self.use_attention {
+            self.attention.forward_batched(tape, binding, &states, wins) // [W·V, H]
+        } else {
+            *states.last().expect("non-empty window")
+        };
+        // [W·V, H] mask rows are drawn window-major — the per-window
+        // draw sequence exactly.
+        let dropped = tape.dropout(ctx_state, self.dropout, ctx.training, ctx.rng);
+        let pred = tape.batched_linear(
+            dropped,
+            binding.var(self.head_w),
+            binding.var(self.head_b),
+            wins,
+        ); // [W·V, 1]
+        tape.reshape(pred, &[wins, v])
     }
 }
 

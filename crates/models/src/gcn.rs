@@ -10,6 +10,15 @@ pub fn gcn_layer(tape: &Tape, a_hat: Var, h: Var, w: Var, b: Var) -> Var {
     tape.linear(propagated, w, b)
 }
 
+/// Batched [`gcn_layer`] over `wins` window row-blocks: the shared
+/// `[V, V]` propagation matrix multiplies each `[V, F_in]` block of
+/// `h: [W·V, F_in]`; weights and bias are shared. Row-block `w` is
+/// bit-identical to the per-window layer on window `w` alone.
+pub fn gcn_layer_batched(tape: &Tape, a_hat: Var, h: Var, w: Var, b: Var, wins: usize) -> Var {
+    let propagated = tape.block_lhs_matmul(a_hat, h, wins);
+    tape.batched_linear(propagated, w, b, wins)
+}
+
 /// MTGNN's mix-hop propagation:
 ///
 /// ```text
@@ -46,6 +55,44 @@ pub fn mixhop_propagation(
             h = tape.add(keep, walk);
         }
         let term = tape.matmul_nt(h, w);
+        out = Some(match out {
+            Some(acc) => tape.add(acc, term),
+            None => term,
+        });
+    }
+    out.expect("depth + 1 >= 1")
+}
+
+/// Batched [`mixhop_propagation`] over `wins` window row-blocks: the
+/// shared `[V, V]` adjacency propagates each `[V, F_in]` block of
+/// `h_in: [W·V, F_in]`; the hop weights are shared.
+///
+/// # Panics
+/// Panics if `weights.len() != depth + 1`.
+pub fn mixhop_propagation_batched(
+    tape: &Tape,
+    a_hat: Var,
+    h_in: Var,
+    weights: &[Var],
+    beta: f64,
+    depth: usize,
+    wins: usize,
+) -> Var {
+    assert_eq!(
+        weights.len(),
+        depth + 1,
+        "mix-hop needs depth + 1 weight matrices"
+    );
+    let mut h = h_in;
+    let mut out: Option<Var> = None;
+    for (k, &w) in weights.iter().enumerate() {
+        if k > 0 {
+            let prop = tape.block_lhs_matmul(a_hat, h, wins);
+            let keep = tape.scale(h_in, beta);
+            let walk = tape.scale(prop, 1.0 - beta);
+            h = tape.add(keep, walk);
+        }
+        let term = tape.batched_matmul_nt(h, w, wins);
         out = Some(match out {
             Some(acc) => tape.add(acc, term),
             None => term,

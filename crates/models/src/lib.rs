@@ -29,8 +29,8 @@ mod var;
 pub use a3tgcn::A3tgcn;
 pub use astgcn::Astgcn;
 pub use config::ModelConfig;
-pub use forecaster::{build_model, Forecaster, ForwardCtx, ModelKind};
-pub use gcn::{gcn_layer, mixhop_propagation};
+pub use forecaster::{build_model, Forecaster, ForwardCtx, ModelKind, WindowBatch};
+pub use gcn::{gcn_layer, gcn_layer_batched, mixhop_propagation, mixhop_propagation_batched};
 pub use lstm::LstmForecaster;
 pub use mtgnn::{GraphLearnerKind, Mtgnn};
 pub use var::VarForecaster;

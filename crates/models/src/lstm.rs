@@ -1,6 +1,6 @@
 //! The baseline LSTM forecaster (paper Experiment A).
 
-use crate::{Forecaster, ForwardCtx, ModelConfig};
+use crate::{Forecaster, ForwardCtx, ModelConfig, WindowBatch};
 use ema_autodiff::{Tape, Var};
 use ema_nn::{Binding, Linear, LstmCell, ParamStore};
 use ema_tensor::{Rng64, Tensor};
@@ -79,6 +79,35 @@ impl Forecaster for LstmForecaster {
         let dropped = tape.dropout(last, self.dropout, ctx.training, ctx.rng);
         let pred = self.head.forward(tape, binding, dropped); // [1, V]
         tape.flatten(pred)
+    }
+
+    fn predict_batch(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        batch: &WindowBatch,
+        ctx: &mut ForwardCtx,
+    ) -> Var {
+        assert_eq!(
+            batch.num_vars(),
+            self.num_variables,
+            "batch has {} variables, model expects {}",
+            batch.num_vars(),
+            self.num_variables
+        );
+        let wins = batch.wins();
+        // Step t across all windows is one [W, V] row block; the cell
+        // recurrence runs once over the stack instead of once per
+        // window. The [W, H] dropout mask is drawn row-major ==
+        // window-major, matching the per-window draw sequence.
+        let xs: Vec<Var> = (0..batch.seq_len())
+            .map(|t| tape.leaf(batch.step(t).clone()))
+            .collect();
+        let state = self.cell.zero_state(tape, wins);
+        let states = self.cell.run_sequence_batched(tape, binding, &xs, state, wins);
+        let last = *states.last().expect("non-empty window");
+        let dropped = tape.dropout(last, self.dropout, ctx.training, ctx.rng);
+        self.head.forward_batched(tape, binding, dropped, wins) // [W, V]
     }
 }
 

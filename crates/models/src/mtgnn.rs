@@ -14,8 +14,8 @@
 //!   residual and skip connections;
 //! * an output module mapping skip features to the 1-lag prediction.
 
-use crate::gcn::mixhop_propagation;
-use crate::{Forecaster, ForwardCtx, ModelConfig};
+use crate::gcn::{mixhop_propagation, mixhop_propagation_batched};
+use crate::{Forecaster, ForwardCtx, ModelConfig, WindowBatch};
 use ema_autodiff::{Tape, Var};
 use ema_graph::{sparsify, AdjacencyMatrix};
 use ema_nn::{Binding, DilatedTemporalConv, Initializer, ParamId, ParamStore};
@@ -324,6 +324,49 @@ impl Mtgnn {
         let denom = tape.matmul(row_sums, ones_row); // [V, V]
         tape.div(a_tilde, denom)
     }
+
+    /// Pre-draws every dropout mask of the batched forward in the
+    /// per-window RNG order: windows outermost, then blocks, then the
+    /// block's gated steps, each a row-major `[V, C]` draw — exactly
+    /// the sequence the per-window path consumes. Returns one
+    /// `[W·V, C]` mask per (block, gated step), or `None` when
+    /// dropout is inactive (matching `Tape::dropout`, which draws
+    /// nothing in eval mode or at rate zero).
+    fn predraw_masks(&self, ctx: &mut ForwardCtx, wins: usize) -> Option<Vec<Vec<Tensor>>> {
+        assert!(
+            (0.0..1.0).contains(&self.dropout),
+            "dropout rate must be in [0, 1), got {}",
+            self.dropout
+        );
+        if !ctx.training || self.dropout == 0.0 {
+            return None;
+        }
+        let keep = 1.0 - self.dropout;
+        let v = self.num_variables;
+        let c = self.blocks[0].filter.out_channels();
+        let mut lens = Vec::with_capacity(self.blocks.len());
+        let mut len = self.seq_len;
+        for block in &self.blocks {
+            len -= block.filter.shrinkage();
+            lens.push(len);
+        }
+        let mut masks: Vec<Vec<Tensor>> = lens
+            .iter()
+            .map(|&l| (0..l).map(|_| Tensor::zeros(&[wins * v, c])).collect())
+            .collect();
+        for w in 0..wins {
+            for (block_masks, &l) in masks.iter_mut().zip(&lens) {
+                for mask in block_masks.iter_mut().take(l) {
+                    for e in &mut mask.data_mut()[w * v * c..(w + 1) * v * c] {
+                        if ctx.rng.bernoulli(keep) {
+                            *e = 1.0 / keep;
+                        }
+                    }
+                }
+            }
+        }
+        Some(masks)
+    }
 }
 
 impl Forecaster for Mtgnn {
@@ -422,6 +465,92 @@ impl Forecaster for Mtgnn {
         };
         let pred = tape.linear(h1, binding.var(self.end_w2), binding.var(self.end_b2)); // [V, 1]
         tape.flatten(pred)
+    }
+
+    fn predict_batch(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        batch: &WindowBatch,
+        ctx: &mut ForwardCtx,
+    ) -> Var {
+        assert_eq!(batch.num_vars(), self.num_variables, "window width");
+        assert_eq!(
+            batch.seq_len(),
+            self.seq_len,
+            "MTGNN was built for seq_len {} but got {}",
+            self.seq_len,
+            batch.seq_len()
+        );
+        let v = self.num_variables;
+        let wins = batch.wins();
+        // Dropout is the only RNG consumer; pre-draw every mask in the
+        // per-window order (windows outermost) so the draw sequence —
+        // and therefore every result byte — matches the oracle path.
+        let masks = self.predraw_masks(ctx, wins);
+        let a_hat = ctx.memo("mtgnn_a_hat", || self.adjacency_var(tape, binding));
+
+        // Start convolution: step t across all windows is one
+        // window-blocked [W·V, 1] column lifted to [W·V, C].
+        let mut seq: Vec<Var> = (0..self.seq_len)
+            .map(|t| {
+                let x = tape.leaf(batch.step(t).reshaped(&[wins * v, 1]));
+                tape.batched_linear(
+                    x,
+                    binding.var(self.start_w),
+                    binding.var(self.start_b),
+                    wins,
+                )
+            })
+            .collect();
+
+        let mut skip_acc: Option<Var> = None;
+        for (b, block) in self.blocks.iter().enumerate() {
+            let filt = block.filter.forward_batched(tape, binding, &seq, wins);
+            let gate = block.gate.forward_batched(tape, binding, &seq, wins);
+            let z: Vec<Var> = filt
+                .iter()
+                .zip(gate.iter())
+                .enumerate()
+                .map(|(t, (&f, &g))| {
+                    let gt = tape.gated_tanh(f, g);
+                    match &masks {
+                        Some(m) => tape.dropout_masked(gt, m[b][t].clone()),
+                        None => gt,
+                    }
+                })
+                .collect();
+            let z_last = *z.last().expect("non-empty conv output");
+            let skip = tape.batched_matmul_nt(z_last, binding.var(block.skip_w), wins);
+            skip_acc = Some(match skip_acc {
+                Some(acc) => tape.add(acc, skip),
+                None => skip,
+            });
+            let shrink = seq.len() - z.len();
+            let weights: Vec<Var> = block.mixhop.iter().map(|&w| binding.var(w)).collect();
+            let mut next = Vec::with_capacity(z.len());
+            for (t, &zt) in z.iter().enumerate() {
+                let g = mixhop_propagation_batched(
+                    tape, a_hat, zt, &weights, self.beta, self.depth, wins,
+                );
+                let res = seq[t + shrink];
+                next.push(tape.add(g, res));
+            }
+            seq = next;
+        }
+
+        let last = *seq.last().expect("non-empty final sequence");
+        let skip = {
+            let acc = skip_acc.expect("at least one block");
+            tape.add(acc, last)
+        };
+        let h = tape.relu(skip);
+        let h1 = {
+            let lin = tape.batched_linear(h, binding.var(self.end_w1), binding.var(self.end_b1), wins);
+            tape.relu(lin)
+        };
+        let pred = tape.batched_linear(h1, binding.var(self.end_w2), binding.var(self.end_b2), wins); // [W·V, 1]
+        tape.reshape(pred, &[wins, v])
     }
 }
 

@@ -1,0 +1,149 @@
+//! Property tests pinning the batched forward path
+//! ([`Forecaster::predict_batch`]) bit-identical to the per-window
+//! oracle graph (`predict_window` per window + `stack_rows`) — in
+//! predicted values AND in every parameter gradient, for all four
+//! paper models, in both train mode (dropout active, masks drawn
+//! window-major) and eval mode, across seeds and window counts.
+
+use ema_autodiff::{Tape, Var};
+use ema_check::{gen, prop_tests};
+use ema_graph::AdjacencyMatrix;
+use ema_models::{build_model, Forecaster, ForwardCtx, ModelConfig, ModelKind, WindowBatch};
+use ema_nn::Binding;
+use ema_tensor::{Rng64, Tensor};
+
+const V: usize = 4;
+const SEQ: usize = 3;
+
+/// Loss + backward on a finished graph; returns the forward value and
+/// the gradient of every registered parameter (None when unused).
+fn finish(
+    tape: &Tape,
+    binding: &Binding,
+    model: &dyn Forecaster,
+    out: Var,
+    targets: &Tensor,
+) -> (Tensor, Vec<Option<Tensor>>) {
+    let tgt = tape.leaf(targets.clone());
+    let loss = tape.mse(out, tgt);
+    let grads = tape.backward(loss);
+    let per_param = model
+        .params()
+        .ids()
+        .iter()
+        .map(|&id| grads.get(binding.var(id)).cloned())
+        .collect();
+    (tape.value(out), per_param)
+}
+
+fn run_per_window(
+    model: &dyn Forecaster,
+    windows: &[Tensor],
+    targets: &Tensor,
+    training: bool,
+    rng_seed: u64,
+) -> (Tensor, Vec<Option<Tensor>>) {
+    let tape = Tape::new();
+    let binding = model.params().bind(&tape);
+    let mut rng = Rng64::seed_from(rng_seed);
+    let mut ctx = if training {
+        ForwardCtx::train(&mut rng)
+    } else {
+        ForwardCtx::eval(&mut rng)
+    };
+    let preds: Vec<Var> = windows
+        .iter()
+        .map(|w| model.predict_window(&tape, &binding, w, &mut ctx))
+        .collect();
+    let stacked = tape.stack_rows(&preds);
+    finish(&tape, &binding, model, stacked, targets)
+}
+
+fn run_batched(
+    model: &dyn Forecaster,
+    batch: &WindowBatch,
+    targets: &Tensor,
+    training: bool,
+    rng_seed: u64,
+) -> (Tensor, Vec<Option<Tensor>>) {
+    let tape = Tape::new();
+    let binding = model.params().bind(&tape);
+    let mut rng = Rng64::seed_from(rng_seed);
+    let mut ctx = if training {
+        ForwardCtx::train(&mut rng)
+    } else {
+        ForwardCtx::eval(&mut rng)
+    };
+    let out = model.predict_batch(&tape, &binding, batch, &mut ctx);
+    finish(&tape, &binding, model, out, targets)
+}
+
+fn assert_bit_identical(label: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.dims(), b.dims(), "{label}: shape mismatch");
+    assert!(
+        a.data() == b.data(),
+        "{label}: values differ bit-wise\n  oracle:  {:?}\n  batched: {:?}",
+        a.data(),
+        b.data()
+    );
+}
+
+/// One full comparison: same model, same windows, same RNG seed — the
+/// batched graph must match the per-window graph byte for byte.
+fn check_model(kind: ModelKind, seed: u64, wins: usize, training: bool) {
+    let cfg = ModelConfig::tiny(seed);
+    let graph = AdjacencyMatrix::complete(V);
+    let g = if kind.uses_graph() { Some(&graph) } else { None };
+    let model = build_model(kind, V, SEQ, &cfg, g);
+    let mut data_rng = Rng64::seed_from(seed ^ 0x9e37_79b9);
+    let windows: Vec<Tensor> = (0..wins)
+        .map(|_| Tensor::rand_normal(&[SEQ, V], 0.0, 1.0, &mut data_rng))
+        .collect();
+    let targets = Tensor::rand_normal(&[wins, V], 0.0, 1.0, &mut data_rng);
+    let batch = WindowBatch::from_windows(&windows);
+
+    let rng_seed = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(7);
+    let (val_a, grads_a) = run_per_window(model.as_ref(), &windows, &targets, training, rng_seed);
+    let (val_b, grads_b) = run_batched(model.as_ref(), &batch, &targets, training, rng_seed);
+
+    let mode = if training { "train" } else { "eval" };
+    assert_bit_identical(&format!("{} {mode} values", kind.label()), &val_a, &val_b);
+    assert_eq!(grads_a.len(), grads_b.len());
+    let ids = model.params().ids();
+    for (i, (ga, gb)) in grads_a.iter().zip(grads_b.iter()).enumerate() {
+        let name = model.params().name(ids[i]);
+        let label = format!("{} {mode} grad `{name}`", kind.label());
+        match (ga, gb) {
+            (Some(ga), Some(gb)) => assert_bit_identical(&label, ga, gb),
+            (None, None) => {}
+            _ => panic!("{label}: one path has a gradient, the other none"),
+        }
+    }
+}
+
+/// Generator: (seed, window count, training flag).
+fn case(rng: &mut Rng64) -> (u64, usize, bool) {
+    (
+        gen::usize_in(rng, 0, 1 << 16) as u64,
+        gen::usize_in(rng, 1, 5),
+        gen::usize_in(rng, 0, 2) == 0,
+    )
+}
+
+prop_tests! {
+    fn lstm_batched_matches_oracle((seed, wins, training) in case) {
+        check_model(ModelKind::Lstm, seed, wins, training);
+    }
+
+    fn a3tgcn_batched_matches_oracle((seed, wins, training) in case) {
+        check_model(ModelKind::A3tgcn, seed, wins, training);
+    }
+
+    fn astgcn_batched_matches_oracle((seed, wins, training) in case) {
+        check_model(ModelKind::Astgcn, seed, wins, training);
+    }
+
+    fn mtgnn_batched_matches_oracle((seed, wins, training) in case) {
+        check_model(ModelKind::Mtgnn, seed, wins, training);
+    }
+}

@@ -96,6 +96,72 @@ impl TemporalAttention {
         let ctx = tape.matmul(alpha_row, stacked); // [1, n*H]
         tape.reshape(ctx, &[n, h])
     }
+
+    /// Batched [`TemporalAttention::weights`]: each state is a
+    /// `[W·n, hidden]` stack of window row-blocks; returns the softmax
+    /// weights as a `[W, T]` matrix whose row `w` is bit-identical to
+    /// the per-window weights of window `w` alone.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or widths mismatch.
+    pub fn weights_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        states: &[Var],
+        wins: usize,
+    ) -> Var {
+        assert!(!states.is_empty(), "attention over an empty sequence");
+        let n = tape.dims(states[0])[0] / wins;
+        // Row-averaging matrix [1, n]; shared across windows (its own
+        // gradient is never read).
+        let avg = tape.leaf(Tensor::filled(&[1, n], 1.0 / n as f64));
+        let vt = tape.transpose(binding.var(self.v)); // [A, 1], shared by every step
+        let mut scores = Vec::with_capacity(states.len());
+        for &h in states {
+            assert_eq!(
+                tape.dims(h)[1],
+                self.hidden_dim,
+                "hidden width mismatch in attention"
+            );
+            let mean_h = tape.block_lhs_matmul(avg, h, wins); // [W, H]
+            let proj =
+                tape.batched_linear(mean_h, binding.var(self.w), binding.var(self.b), wins); // [W, A]
+            let act = tape.tanh(proj);
+            // Grouped replay: the per-window reference folds each
+            // window's score gradient into its own vt node before
+            // accumulating, so v's gradient association matches.
+            scores.push(tape.batched_matmul_grouped(act, vt, wins)); // [W, 1]
+        }
+        let mut logits = scores[0];
+        for &s in &scores[1..] {
+            logits = tape.hcat(logits, s); // [W, T]
+        }
+        tape.softmax_last(logits) // [W, T], row-wise softmax
+    }
+
+    /// Batched [`TemporalAttention::forward`]: the attention-weighted
+    /// context for every window at once, shape `[W·n, hidden]`.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or widths mismatch.
+    pub fn forward_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        states: &[Var],
+        wins: usize,
+    ) -> Var {
+        let alpha = self.weights_batched(tape, binding, states, wins); // [W, T]
+        let n = tape.dims(states[0])[0] / wins;
+        let h = self.hidden_dim;
+        // Window block w of the stack holds the T flattened states of
+        // window w; a blockwise [1, T] x [T, n*H] product then forms
+        // every window's context in one node.
+        let stacked = tape.stack_window_blocks(states, wins); // [W·T, n*H]
+        let ctx = tape.block_matmul(alpha, stacked, wins); // [W, n*H]
+        tape.reshape(ctx, &[wins * n, h])
+    }
 }
 
 #[cfg(test)]

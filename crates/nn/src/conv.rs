@@ -112,6 +112,42 @@ impl DilatedTemporalConv {
         }
         out
     }
+
+    /// Batched [`DilatedTemporalConv::forward`]: every step is a
+    /// `[W·n, in_c]` stack of window row-blocks sharing the tap
+    /// parameters. Row-block `w` of each output step is bit-identical
+    /// to the per-window forward on window `w` alone.
+    pub fn forward_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        seq: &[Var],
+        wins: usize,
+    ) -> Vec<Var> {
+        let span = self.shrinkage();
+        assert!(
+            seq.len() > span,
+            "sequence of {} steps is shorter than receptive field {}",
+            seq.len(),
+            span + 1
+        );
+        let bias = binding.var(self.bias);
+        let mut out = Vec::with_capacity(seq.len() - span);
+        for t in span..seq.len() {
+            let mut acc: Option<Var> = None;
+            for (j, &tap) in self.taps.iter().enumerate() {
+                let x = seq[t - j * self.dilation];
+                let term = tape.batched_matmul_nt(x, binding.var(tap), wins);
+                acc = Some(match acc {
+                    Some(a) => tape.add(a, term),
+                    None => term,
+                });
+            }
+            let summed = acc.expect("kernel > 0");
+            out.push(tape.batched_add_row_broadcast(summed, bias, wins));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,12 @@ impl Linear {
     pub fn forward(&self, tape: &Tape, binding: &Binding, x: Var) -> Var {
         tape.linear(x, binding.var(self.w), binding.var(self.b))
     }
+
+    /// Batched [`Linear::forward`] over `wins` window row-blocks
+    /// sharing the layer parameters: `x: [W·n, in]` → `[W·n, out]`.
+    pub fn forward_batched(&self, tape: &Tape, binding: &Binding, x: Var, wins: usize) -> Var {
+        tape.batched_linear(x, binding.var(self.w), binding.var(self.b), wins)
+    }
 }
 
 #[cfg(test)]

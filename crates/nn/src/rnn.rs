@@ -99,6 +99,24 @@ impl GruCell {
         }
         states
     }
+
+    /// One step over `wins` window row-blocks sharing the cell params:
+    /// `x: [W·n, X]`, `h: [W·n, H]` → `[W·n, H]`. Row-block `w` is
+    /// bit-identical to [`GruCell::forward`] on window `w` alone; the
+    /// shared weight gradients replay per window (see
+    /// `Tape::batched_linear`).
+    pub fn forward_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        x: Var,
+        h: Var,
+        wins: usize,
+    ) -> Var {
+        let gi = tape.batched_linear(x, binding.var(self.w_ih), binding.var(self.b_ih), wins);
+        let gh = tape.batched_linear(h, binding.var(self.w_hh), binding.var(self.b_hh), wins);
+        tape.gru_cell(gi, gh, h)
+    }
 }
 
 /// The `(hidden, cell)` pair carried across LSTM steps.
@@ -203,6 +221,44 @@ impl LstmCell {
         let mut states = Vec::with_capacity(xs.len());
         for &x in xs {
             state = self.forward(tape, binding, x, state);
+            states.push(state.h);
+        }
+        states
+    }
+
+    /// One step over `wins` window row-blocks sharing the cell params:
+    /// `x: [W·n, X]` with carried `[W·n, H]` state. Row-block `w` is
+    /// bit-identical to [`LstmCell::forward`] on window `w` alone.
+    pub fn forward_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        x: Var,
+        state: LstmState,
+        wins: usize,
+    ) -> LstmState {
+        let hd = self.hidden_dim;
+        let gi = tape.batched_linear(x, binding.var(self.w_ih), binding.var(self.b_ih), wins);
+        let gh = tape.batched_linear(state.h, binding.var(self.w_hh), binding.var(self.b_hh), wins);
+        let gates_pre = tape.add(gi, gh);
+        let hc = tape.lstm_cell(gates_pre, state.c);
+        let h = tape.slice_cols(hc, 0, hd);
+        let c = tape.slice_cols(hc, hd, 2 * hd);
+        LstmState { h, c }
+    }
+
+    /// Batched [`LstmCell::run_sequence`]: every `x` is `[W·n, X]`.
+    pub fn run_sequence_batched(
+        &self,
+        tape: &Tape,
+        binding: &Binding,
+        xs: &[Var],
+        mut state: LstmState,
+        wins: usize,
+    ) -> Vec<Var> {
+        let mut states = Vec::with_capacity(xs.len());
+        for &x in xs {
+            state = self.forward_batched(tape, binding, x, state, wins);
             states.push(state.h);
         }
         states

@@ -7,7 +7,7 @@
 
 use crate::euclidean::gaussian_affinity;
 use ema_graph::AdjacencyMatrix;
-use ema_tensor::Tensor;
+use ema_tensor::{pool::PooledBuf, Tensor};
 
 /// DTW distance between two series with absolute-difference local cost
 /// and the standard (symmetric1) step pattern.
@@ -29,14 +29,28 @@ pub fn dtw_distance(x: &[f64], y: &[f64]) -> f64 {
 /// Panics if either series is empty.
 #[must_use]
 pub fn dtw_distance_banded(x: &[f64], y: &[f64], band: usize) -> f64 {
+    // Pooled DP rows: recycled on drop, so repeated distance calls on
+    // one thread stop allocating after the first.
+    let mut prev = PooledBuf::uninit(y.len() + 1);
+    let mut curr = PooledBuf::uninit(y.len() + 1);
+    dtw_banded_with(x, y, band, &mut prev, &mut curr)
+}
+
+/// The banded DP core on caller-provided rolling rows (each
+/// `len(y) + 1` long; contents may be stale — both rows are fully
+/// initialised here). Lets [`pairwise_dtw`] reuse one pair of pooled
+/// buffers across all V²/2 column pairs.
+fn dtw_banded_with(x: &[f64], y: &[f64], band: usize, prev: &mut [f64], curr: &mut [f64]) -> f64 {
     assert!(!x.is_empty() && !y.is_empty(), "empty series");
     let (n, m) = (x.len(), y.len());
+    assert!(prev.len() == m + 1 && curr.len() == m + 1, "DP rows must be len(y) + 1");
     let band = band.max(n.abs_diff(m));
     const INF: f64 = f64::INFINITY;
 
     // Rolling 2-row DP over the (n+1) x (m+1) accumulated-cost matrix.
-    let mut prev = vec![INF; m + 1];
-    let mut curr = vec![INF; m + 1];
+    let mut prev = &mut *prev;
+    let mut curr = &mut *curr;
+    prev.fill(INF);
     prev[0] = 0.0;
     for i in 1..=n {
         curr.fill(INF);
@@ -78,12 +92,16 @@ pub fn dtw_distance_normalized(x: &[f64], y: &[f64]) -> f64 {
 #[must_use]
 pub fn pairwise_dtw(data: &Tensor, band: usize) -> Tensor {
     assert_eq!(data.rank(), 2, "data must be [T, V]");
-    let v = data.dims()[1];
+    let (t, v) = (data.dims()[0], data.dims()[1]);
     let cols: Vec<Tensor> = (0..v).map(|j| data.col(j)).collect();
+    // One pair of pooled DP rows shared by every column pair (all
+    // columns have length T), instead of two fresh vecs per pair.
+    let mut prev = PooledBuf::uninit(t + 1);
+    let mut curr = PooledBuf::uninit(t + 1);
     let mut out = Tensor::zeros(&[v, v]);
     for i in 0..v {
         for j in (i + 1)..v {
-            let d = dtw_distance_banded(cols[i].data(), cols[j].data(), band);
+            let d = dtw_banded_with(cols[i].data(), cols[j].data(), band, &mut prev, &mut curr);
             out.set2(i, j, d);
             out.set2(j, i, d);
         }

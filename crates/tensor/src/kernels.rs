@@ -1,0 +1,159 @@
+//! Raw slice-level matmul kernels: the `_into` batched twins of the
+//! `Tensor` methods in `linalg.rs`.
+//!
+//! The batched autodiff backward pass replays per-window gradient
+//! pieces on contiguous row-block *slices* of larger tensors; going
+//! through `Tensor` would force a copy per block. These free functions
+//! run the exact same kernels on `&[f64]` operands with explicit
+//! dimensions. Each one is **bit-identical** to its `Tensor` twin — it
+//! shares the private accumulation kernel and the pooled-repack idiom,
+//! so the bit-identity contract documented in `linalg.rs` carries over
+//! unchanged (property-tested in `crates/tensor/tests/properties.rs`).
+//!
+//! All kernels fully overwrite `out` (callers may pass stale pooled
+//! buffers from [`pool::take_uninit`]).
+
+use crate::linalg::matmul_accumulate;
+use crate::pool;
+
+/// `out = a · b` for row-major `a: [m,k]`, `b: [k,n]`, `out: [m,n]`.
+/// Bit-identical to [`crate::Tensor::matmul`].
+///
+/// # Panics
+/// Panics when a slice length disagrees with its dimensions.
+pub fn matmul_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_into lhs length");
+    assert_eq!(b.len(), k * n, "matmul_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_into out length");
+    out.fill(0.0);
+    matmul_accumulate(a, b, out, m, k, n);
+}
+
+/// `out = aᵀ · b` for `a: [k,m]`, `b: [k,n]`, `out: [m,n]`.
+/// Bit-identical to [`crate::Tensor::matmul_tn`].
+///
+/// # Panics
+/// Panics when a slice length disagrees with its dimensions.
+pub fn matmul_tn_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "matmul_tn_into lhs length");
+    assert_eq!(b.len(), k * n, "matmul_tn_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_tn_into out length");
+    // Same pooled repack as `Tensor::matmul_tn`: the repacked element is
+    // the value the reference kernel reads after an explicit transpose,
+    // so accumulation order and the zero skip stay bit-identical.
+    let mut at = pool::take_uninit(m * k);
+    for (p, arow) in a.chunks_exact(m).enumerate() {
+        for (i, &av) in arow.iter().enumerate() {
+            at[i * k + p] = av;
+        }
+    }
+    out.fill(0.0);
+    matmul_accumulate(&at, b, out, m, k, n);
+    pool::recycle(at);
+}
+
+/// `out = a · bᵀ` for `a: [m,k]`, `b: [n,k]`, `out: [m,n]`.
+/// Bit-identical to [`crate::Tensor::matmul_nt`].
+///
+/// # Panics
+/// Panics when a slice length disagrees with its dimensions.
+pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_nt_into lhs length");
+    assert_eq!(b.len(), n * k, "matmul_nt_into rhs length");
+    assert_eq!(out.len(), m * n, "matmul_nt_into out length");
+    let mut bt = pool::take_uninit(k * n);
+    for (j, brow) in b.chunks_exact(k).enumerate() {
+        for (p, &bv) in brow.iter().enumerate() {
+            bt[p * n + j] = bv;
+        }
+    }
+    out.fill(0.0);
+    matmul_accumulate(a, &bt, out, m, k, n);
+    pool::recycle(bt);
+}
+
+/// `out[j] = Σ_i a[i,j]` for `a: [m,n]`, `out: [n]` — ascending-row
+/// accumulation from `0.0` per column, bit-identical to
+/// [`crate::Tensor::col_sums`].
+///
+/// # Panics
+/// Panics when a slice length disagrees with its dimensions.
+pub fn col_sums_into(a: &[f64], out: &mut [f64], m: usize, n: usize) {
+    assert_eq!(a.len(), m * n, "col_sums_into input length");
+    assert_eq!(out.len(), n, "col_sums_into out length");
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..m {
+            acc += a[i * n + j];
+        }
+        *o = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng64, Tensor};
+
+    fn rand(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng64::seed_from(seed);
+        Tensor::rand_normal(dims, 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn matmul_into_matches_tensor_twin() {
+        let a = rand(&[4, 3], 1);
+        let b = rand(&[3, 5], 2);
+        let mut out = vec![9.9; 20];
+        matmul_into(a.data(), b.data(), &mut out, 4, 3, 5);
+        assert_eq!(out, a.matmul(&b).data());
+    }
+
+    #[test]
+    fn matmul_tn_into_matches_tensor_twin() {
+        let a = rand(&[4, 3], 3);
+        let b = rand(&[4, 5], 4);
+        let mut out = vec![9.9; 15];
+        matmul_tn_into(a.data(), b.data(), &mut out, 4, 3, 5);
+        assert_eq!(out, a.matmul_tn(&b).data());
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_tensor_twin() {
+        let a = rand(&[4, 3], 5);
+        let b = rand(&[5, 3], 6);
+        let mut out = vec![9.9; 20];
+        matmul_nt_into(a.data(), b.data(), &mut out, 4, 3, 5);
+        assert_eq!(out, a.matmul_nt(&b).data());
+    }
+
+    #[test]
+    fn col_sums_into_matches_tensor_twin() {
+        let a = rand(&[6, 4], 7);
+        let mut out = vec![9.9; 4];
+        col_sums_into(a.data(), &mut out, 6, 4);
+        assert_eq!(out, a.col_sums().data());
+    }
+
+    #[test]
+    fn row_block_slice_matches_sliced_tensor() {
+        // The intended use: operate on one contiguous row block of a
+        // stacked tensor without copying it out first.
+        let stacked = rand(&[6, 3], 8); // three [2, 3] blocks
+        let rhs = rand(&[3, 4], 9);
+        for w in 0..3 {
+            let block = &stacked.data()[w * 6..(w + 1) * 6];
+            let mut out = vec![0.0; 8];
+            matmul_into(block, rhs.data(), &mut out, 2, 3, 4);
+            let reference = stacked.slice_rows(w * 2, (w + 1) * 2).matmul(&rhs);
+            assert_eq!(out, reference.data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn matmul_into_checks_lengths() {
+        let mut out = vec![0.0; 4];
+        matmul_into(&[1.0; 5], &[1.0; 4], &mut out, 2, 2, 2);
+    }
+}

@@ -33,6 +33,7 @@
 
 mod display;
 mod error;
+pub mod kernels;
 mod linalg;
 mod ops;
 pub mod pool;

@@ -91,7 +91,7 @@ fn accum_row_span(a_row: &[f64], b: &[f64], out_row: &mut [f64], n: usize, jb: u
 /// Skips `a[i, p] == 0.0` (exact zeros are common after ReLU); the skip
 /// is also what fixes the accumulation sequence the bit-identity
 /// contract promises.
-fn matmul_accumulate(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+pub(crate) fn matmul_accumulate(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     if m * n * k >= MM_BLOCK_THRESHOLD && n > MM_BLOCK {
         // Tile i and j only: for each output element the p loop still
         // runs 0..k in one ascending pass, so blocking never reorders

@@ -31,6 +31,14 @@ echo "==> cargo test (EMA_THREADS=4)"
 # byte-identical to the sequential run (the exec engine's guarantee).
 EMA_THREADS=4 cargo test --offline --workspace -q
 
+echo "==> batched-forward equivalence (EMA_THREADS=4)"
+# The batched hot path must be bit-identical to the per-window oracle:
+# the per-model property suites (values + parameter gradients) and the
+# full-pipeline results-JSON determinism case, both on a 4-worker
+# executor.
+EMA_THREADS=4 cargo test --offline -p ema-models --test batched_equivalence -q
+EMA_THREADS=4 cargo test --offline --test determinism -q batched_and_per_window_paths_emit_identical_results_json
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -53,17 +61,23 @@ if [ "$WITH_BENCH" = 1 ]; then
   # short-budget reruns proved systematically biased on shared hosts.
   mkdir -p target/bench_ci_stash
   git show HEAD:results/BENCH_training_epoch.json > target/bench_baseline_training_epoch.json
+  git show HEAD:results/BENCH_pipeline.json > target/bench_baseline_pipeline.json
   cp results/BENCH_*.json target/bench_ci_stash/ 2>/dev/null || true
   restore_bench_results() { cp target/bench_ci_stash/BENCH_*.json results/ 2>/dev/null || true; }
   trap restore_bench_results EXIT
   cargo bench --offline --workspace
 
   echo "==> bench regression gate"
-  # Fails on any median >15% slower than the committed baseline; the
-  # tolerance (documented in bench_gate.rs) absorbs run-to-run noise
-  # while still catching hot-loop regressions.
+  # Fails on any median >15% slower — or any allocs/iter >15% higher —
+  # than the committed baselines. Timing allowances are scaled by the
+  # suite's least-inflated sibling benchmark (leave-one-out, capped at
+  # 1.5x; see bench_gate.rs) so uniform shared-host load doesn't trip
+  # the gate while differential hot-loop regressions still do. Gates
+  # both the training-epoch suite and the cohort-throughput pipeline
+  # suite.
   cargo run --offline -q -p ema-bench --bin bench_gate -- \
-    target/bench_baseline_training_epoch.json results/BENCH_training_epoch.json
+    target/bench_baseline_training_epoch.json results/BENCH_training_epoch.json \
+    target/bench_baseline_pipeline.json results/BENCH_pipeline.json
 fi
 
 echo "==> CI green"

@@ -8,6 +8,7 @@ use ema_core::checkpoint::Checkpoint;
 use ema_core::experiments::ExperimentScale;
 use ema_core::pipeline::{run_cohort_with, GraphSpec};
 use ema_core::Executor;
+use ema_core::ForwardPath;
 use ema_core::results::{CellStat, ResultTable};
 use ema_graph::sparsify::DensityThreshold;
 use ema_models::ModelKind;
@@ -27,6 +28,12 @@ fn tiny_results_json() -> String {
 /// [`tiny_results_json`] on an explicit executor, so tests can pin the
 /// thread count.
 fn tiny_results_json_with(executor: &Executor) -> String {
+    tiny_results_json_on(executor, ForwardPath::default())
+}
+
+/// [`tiny_results_json_with`] with an explicit training forward path
+/// (batched hot path vs per-window oracle).
+fn tiny_results_json_on(executor: &Executor, forward_path: ForwardPath) -> String {
     let mut scale = ExperimentScale::tiny();
     scale.num_individuals = 2;
     scale.epochs = 3;
@@ -44,7 +51,8 @@ fn tiny_results_json_with(executor: &Executor) -> String {
             },
         ),
     ] {
-        let spec = scale.spec(model, graph, 2);
+        let mut spec = scale.spec(model, graph, 2);
+        spec.train_config.forward_path = forward_path;
         let outcomes = run_cohort_with(&dataset, &spec, executor);
         let mses: Vec<f64> = outcomes.iter().map(|o| o.mse).collect();
         table.push_row(label, vec![CellStat::from_samples(&mses)]);
@@ -63,6 +71,28 @@ fn same_seed_pipeline_runs_emit_byte_identical_json() {
     // The record must also survive a parse round trip bit-exactly.
     let parsed = ResultTable::from_json(&first).unwrap();
     assert_eq!(parsed.to_json(), first);
+}
+
+/// The batched forward path (one tape graph per epoch,
+/// `Forecaster::predict_batch`) must emit results JSON byte-identical
+/// to the per-window oracle (`predict_window` per window), at both
+/// thread counts — dropout masks are drawn window-major so the RNG
+/// stream, and hence every byte, matches.
+#[test]
+fn batched_and_per_window_paths_emit_identical_results_json() {
+    let batched_seq = tiny_results_json_on(&Executor::sequential(), ForwardPath::Batched);
+    let oracle_seq = tiny_results_json_on(&Executor::sequential(), ForwardPath::PerWindow);
+    assert!(
+        batched_seq == oracle_seq,
+        "threads=1: batched vs per-window diverged:\n--- batched ---\n{batched_seq}\n--- oracle ---\n{oracle_seq}"
+    );
+    let batched_pool = tiny_results_json_on(&Executor::with_threads(4), ForwardPath::Batched);
+    let oracle_pool = tiny_results_json_on(&Executor::with_threads(4), ForwardPath::PerWindow);
+    assert!(
+        batched_pool == oracle_pool,
+        "threads=4: batched vs per-window diverged:\n--- batched ---\n{batched_pool}\n--- oracle ---\n{oracle_pool}"
+    );
+    assert!(batched_seq == batched_pool, "batched path: threads=1 vs threads=4 diverged");
 }
 
 /// The cohort executor's headline guarantee: results JSON is
