@@ -242,11 +242,16 @@ impl Harness {
         self.results.push(result);
     }
 
-    /// Prints the footer and writes `results/BENCH_<suite>.json`.
+    /// Prints the footer and writes `results/BENCH_<suite>.json`. The
+    /// record carries the kernel backend the suite ran on (`bench_gate`
+    /// reads only the `benchmarks` array, so the extra field is inert
+    /// for gating but keeps baselines self-describing).
     pub fn finish(self) {
+        let backend = ema_tensor::KernelBackend::active().label();
         ema_obs::point!("bench_suite_done", suite = self.suite.as_str(), benchmarks = self.results.len());
         let json = Json::obj(vec![
             ("suite", Json::Str(self.suite.clone())),
+            ("kernel_backend", Json::Str(backend.to_string())),
             (
                 "benchmarks",
                 Json::Arr(self.results.iter().map(BenchResult::to_json_value).collect()),
@@ -254,7 +259,11 @@ impl Harness {
         ])
         .pretty();
         if let Some(path) = crate::save_json(&format!("BENCH_{}", self.suite), &json) {
-            println!("{} benchmarks -> {}", self.results.len(), path.display());
+            println!(
+                "{} benchmarks ({backend} kernels) -> {}",
+                self.results.len(),
+                path.display()
+            );
         }
     }
 }

@@ -58,3 +58,4 @@ pub use pipeline::{
 };
 pub use results::{BoxplotStats, CellStat, ResultTable};
 pub use train::{train_model, ForwardPath, TrainConfig, TrainReport};
+pub use ema_tensor::{set_kernel_backend, with_kernel_backend, KernelBackend, KernelScope};

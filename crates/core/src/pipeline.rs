@@ -131,6 +131,11 @@ pub fn graph_for_individual(
 /// or the spec is inconsistent (graph-free GNN).
 #[must_use]
 pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOutcome {
+    // Pin the spec's kernel backend for the whole job — graph build and
+    // evaluation matmuls included, not just the training loop. Each
+    // cohort job runs wholly on one executor worker thread, so this
+    // thread-local scope covers everything the job computes.
+    let _kernel = spec.train_config.kernel_backend.scoped();
     let _individual_span = span!(
         "individual",
         individual = id,

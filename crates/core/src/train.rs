@@ -6,7 +6,7 @@ use ema_models::{Forecaster, ForwardCtx, WindowBatch};
 use ema_nn::{global_grad_norm, Adam, Optimizer, OptimizerConfig};
 use ema_obs::metrics::{EPOCH_BUCKETS, GRAD_NORM_BUCKETS, LOSS_BUCKETS};
 use ema_obs::point;
-use ema_tensor::{Rng64, Tensor};
+use ema_tensor::{KernelBackend, Rng64, Tensor};
 
 /// Which forward graph [`train_model`] builds each epoch. Both paths
 /// are bit-identical in results (enforced by the batched-equivalence
@@ -48,6 +48,10 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Which forward graph to build each epoch (default: batched).
     pub forward_path: ForwardPath,
+    /// Which matmul kernel backend the run executes on (default: the
+    /// process resolution of `EMA_KERNEL` — SIMD where available).
+    /// `Scalar` pins the bit-identity oracle regardless of environment.
+    pub kernel_backend: KernelBackend,
 }
 
 impl Default for TrainConfig {
@@ -60,6 +64,7 @@ impl Default for TrainConfig {
             early_stop_rel: 0.0,
             patience: 25,
             forward_path: ForwardPath::default(),
+            kernel_backend: KernelBackend::default(),
         }
     }
 }
@@ -135,6 +140,10 @@ pub fn train_model(
 ) -> TrainReport {
     assert!(!windows.is_empty(), "cannot train on zero windows");
     assert!(config.epochs > 0, "need at least one epoch");
+    // Pin the configured kernel backend for the whole run. The scope is
+    // thread-local and training runs entirely on the calling thread, so
+    // concurrent runs with different backends cannot perturb each other.
+    let _kernel = config.kernel_backend.scoped();
     let mut adam = Adam::new(OptimizerConfig {
         learning_rate: config.learning_rate,
         grad_clip: config.grad_clip,

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 mod display;
 mod error;
 pub mod kernels;
@@ -40,10 +41,13 @@ pub mod pool;
 mod random;
 mod reduce;
 mod shape;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 mod slicing;
 mod solve;
 mod tensor;
 
+pub use backend::{set_kernel_backend, with_kernel_backend, KernelBackend, KernelScope};
 pub use error::TensorError;
 pub use pool::{PoolStats, PooledBuf};
 pub use random::{derive_stream_seed, Rng64};

@@ -1,27 +1,50 @@
 //! Linear algebra: matrix products, transposition, stacking.
 //!
-//! ## Kernel bit-identity contract
+//! ## The two kernel contracts
 //!
-//! Every matmul variant here ([`Tensor::matmul`], [`Tensor::matmul_tn`],
-//! [`Tensor::matmul_nt`], the cache-blocked path and
-//! [`Tensor::matmul_into`]) produces **bit-identical** results to the
-//! reference `transpose()` + naive-triple-loop composition: each output
-//! element accumulates its `k` products in ascending-`p` order starting
-//! from `+0.0`, and the `lhs == 0.0` skip always tests the same logical
-//! element. This lets the autodiff backward pass and the models pick
-//! whichever kernel avoids materializing a transpose without perturbing
-//! a single bit of any experiment record (property-tested in
-//! `crates/tensor/tests/properties.rs`).
+//! Every matmul-family kernel ([`Tensor::matmul`], [`Tensor::matmul_tn`],
+//! [`Tensor::matmul_nt`], [`Tensor::addmm`], the cache-blocked path,
+//! the `_into` twins in [`crate::kernels`], and through them every
+//! batched autodiff op) funnels into one accumulation kernel,
+//! [`matmul_accumulate`], which dispatches on the active
+//! [`crate::KernelBackend`]. Both backends share the *structural*
+//! invariants — each output element accumulates its `k` products in
+//! ascending-`p` order starting from `+0.0`, the `lhs == 0.0` skip
+//! always tests the same logical element, and cache blocking tiles
+//! i/j only — and differ in exactly one rounding rule:
+//!
+//! 1. **Scalar — the bit-identity oracle.** Multiply and add round
+//!    separately, matching the reference `transpose()` +
+//!    naive-triple-loop composition *bit for bit*. Every committed
+//!    experiment record was produced under this contract
+//!    (property-tested in `crates/tensor/tests/properties.rs`).
+//! 2. **SIMD (AVX2+FMA, x86_64, runtime-detected) — the hot path.**
+//!    Every multiply-add is fused (one rounding). Vector lanes carry
+//!    independent output columns, so no sum is split across lanes; the
+//!    backend is *self-deterministic* (byte-identical across runs,
+//!    span widths, blocking and thread counts, pinned to a scalar
+//!    `mul_add` reference in `crates/tensor/tests/backend_equivalence.rs`)
+//!    and agrees with the scalar oracle element-wise to
+//!    `(k + 1)·ε·Σₚ|a[i,p]·b[p,j]|` — see `simd.rs`.
+//!
+//! Because the repack-and-share idiom (`matmul_tn`/`matmul_nt`/`addmm`
+//! run the same kernel on transposed copies) preserves each element's
+//! accumulation sequence, the fused kernels stay bit-identical to
+//! their composed forms **within whichever backend is active**; only
+//! cross-backend comparisons are tolerance-based. Backend selection:
+//! `EMA_KERNEL` env knob / [`crate::backend::set_kernel_backend`] /
+//! [`KernelBackend::scoped`] — see `backend.rs`.
 
+use crate::backend::KernelBackend;
 use crate::{pool, Shape, Tensor};
 
 /// Tile edge for the cache-blocked matmul path: output/operand row
 /// chunks of 64 f64 (512 B) stay resident in L1 across the `p` loop.
-const MM_BLOCK: usize = 64;
+pub(crate) const MM_BLOCK: usize = 64;
 
 /// Products with at least this many multiply-adds take the blocked
 /// path; below it the plain ikj loop wins on loop overhead.
-const MM_BLOCK_THRESHOLD: usize = 1 << 18;
+pub(crate) const MM_BLOCK_THRESHOLD: usize = 1 << 18;
 
 /// Register-tiled inner kernel: accumulates
 /// `out[i, j..j + W] += Σ_p a[i, p] · b[p, j..j + W]` for one output
@@ -86,12 +109,34 @@ fn accum_row_span(a_row: &[f64], b: &[f64], out_row: &mut [f64], n: usize, jb: u
     }
 }
 
-/// Shared ikj kernel accumulating `out += a · b` for row-major `a`
-/// `[m, k]` and `b` `[k, n]`. `out` must be zeroed by the caller.
-/// Skips `a[i, p] == 0.0` (exact zeros are common after ReLU); the skip
-/// is also what fixes the accumulation sequence the bit-identity
-/// contract promises.
+/// The accumulation kernel every matmul-family op runs: `out += a · b`
+/// for row-major `a` `[m, k]` and `b` `[k, n]`; `out` must be zeroed by
+/// the caller. Dispatches on the thread's active [`KernelBackend`] —
+/// the scalar ikj oracle below or the AVX2+FMA twin in `simd.rs` (see
+/// the two-contract story in this file's header).
 pub(crate) fn matmul_accumulate(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if KernelBackend::active() == KernelBackend::Simd {
+        // SAFETY: `active()` returns `Simd` only when AVX2+FMA were
+        // detected on the running CPU (`KernelBackend::simd_available`).
+        unsafe { crate::simd::matmul_accumulate_simd(a, b, out, m, k, n) };
+        return;
+    }
+    matmul_accumulate_scalar(a, b, out, m, k, n);
+}
+
+/// Scalar ikj kernel accumulating `out += a · b` — the bit-identity
+/// oracle. Skips `a[i, p] == 0.0` (exact zeros are common after ReLU);
+/// the skip is also what fixes the accumulation sequence the
+/// bit-identity contract promises.
+pub(crate) fn matmul_accumulate_scalar(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     if m * n * k >= MM_BLOCK_THRESHOLD && n > MM_BLOCK {
         // Tile i and j only: for each output element the p loop still
         // runs 0..k in one ascending pass, so blocking never reorders
@@ -547,6 +592,9 @@ mod tests {
     #[test]
     fn blocked_path_matches_naive() {
         // Large enough to cross MM_BLOCK_THRESHOLD with n > MM_BLOCK.
+        // The naive reference below implements the *scalar* contract,
+        // so pin the oracle backend regardless of `EMA_KERNEL`.
+        let _scalar = KernelBackend::Scalar.scoped();
         let m = 72;
         let k = 72;
         let n = 72;

@@ -2,7 +2,12 @@
 //! `ema-check` harness (seeded, deterministic, 256 cases per property).
 
 use ema_check::{gen, prop_assert, prop_tests};
-use ema_tensor::{assert_tensors_close, Rng64, Tensor};
+use ema_tensor::{assert_tensors_close, KernelBackend, Rng64, Tensor};
+
+/// Both kernel backends. `Simd` silently runs the scalar kernel on
+/// machines without AVX2+FMA (`KernelBackend::active` normalizes), so
+/// iterating this list is portable.
+const BACKENDS: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Simd];
 
 /// Generator: a rank-1 tensor with 1..=31 finite elements.
 fn vec_tensor(rng: &mut Rng64) -> Tensor {
@@ -258,29 +263,50 @@ prop_tests! {
     // The transpose-aware and fused kernels exist so the autodiff
     // backward pass stops materializing transposes; determinism
     // requires they produce *bit-identical* results to the composed
-    // forms they replace, across random shapes and sparsity.
+    // forms they replace, across random shapes and sparsity. The naive
+    // reference implements the *scalar* oracle's rounding, so these
+    // properties pin `KernelBackend::Scalar` — they are what keeps the
+    // oracle unchanged while the SIMD backend evolves (cross-backend
+    // agreement lives in `backend_equivalence.rs`).
 
     fn matmul_matches_naive_reference((a, b) in matmul_pair) {
+        let _scalar = KernelBackend::Scalar.scoped();
         assert_bit_identical(&a.matmul(&b), &naive_matmul(&a, &b));
     }
 
     fn matmul_tn_matches_transpose_then_matmul((a, b) in tn_pair) {
-        let fused = a.matmul_tn(&b);
-        assert_bit_identical(&fused, &a.transpose().matmul(&b));
-        assert_bit_identical(&fused, &naive_matmul(&a.transpose(), &b));
+        // The fused-equals-composed half of the contract holds within
+        // *either* backend (the repack preserves each element's
+        // accumulation sequence); the naive half is scalar-only.
+        for backend in BACKENDS {
+            let _scope = backend.scoped();
+            assert_bit_identical(&a.matmul_tn(&b), &a.transpose().matmul(&b));
+        }
+        let _scalar = KernelBackend::Scalar.scoped();
+        assert_bit_identical(&a.matmul_tn(&b), &naive_matmul(&a.transpose(), &b));
     }
 
     fn matmul_nt_matches_matmul_of_transpose((a, b) in nt_pair) {
-        let fused = a.matmul_nt(&b);
-        assert_bit_identical(&fused, &a.matmul(&b.transpose()));
-        assert_bit_identical(&fused, &naive_matmul(&a, &b.transpose()));
+        for backend in BACKENDS {
+            let _scope = backend.scoped();
+            assert_bit_identical(&a.matmul_nt(&b), &a.matmul(&b.transpose()));
+        }
+        let _scalar = KernelBackend::Scalar.scoped();
+        assert_bit_identical(&a.matmul_nt(&b), &naive_matmul(&a, &b.transpose()));
     }
 
     fn addmm_matches_composed_pipeline((x, w, bias) in addmm_triple) {
-        let fused = x.addmm(&w, &bias);
-        let composed = x.matmul(&w.transpose()).add_row_broadcast(&bias);
-        assert_bit_identical(&fused, &composed);
-        assert_bit_identical(&fused, &naive_matmul(&x, &w.transpose()).add_row_broadcast(&bias));
+        for backend in BACKENDS {
+            let _scope = backend.scoped();
+            let fused = x.addmm(&w, &bias);
+            let composed = x.matmul(&w.transpose()).add_row_broadcast(&bias);
+            assert_bit_identical(&fused, &composed);
+        }
+        let _scalar = KernelBackend::Scalar.scoped();
+        assert_bit_identical(
+            &x.addmm(&w, &bias),
+            &naive_matmul(&x, &w.transpose()).add_row_broadcast(&bias),
+        );
     }
 
     // 64·65·64 multiply-adds with n = 65 > 64 forces the cache-blocked
@@ -288,6 +314,7 @@ prop_tests! {
     // untouched. Few cases — each one is a quarter-million flops.
     @cases(4)
     fn blocked_matmul_matches_naive_reference(seed in gen::u64_below(1_000_000)) {
+        let _scalar = KernelBackend::Scalar.scoped();
         let mut rng = Rng64::seed_from(seed);
         let a = sparse_matrix(&mut rng, 64, 64);
         let b = sparse_matrix(&mut rng, 64, 65);
@@ -299,6 +326,7 @@ prop_tests! {
     // out at 10 columns and would never reach the wide tiles.
     @cases(8)
     fn wide_matmul_matches_naive_reference(seed in gen::u64_below(1_000_000)) {
+        let _scalar = KernelBackend::Scalar.scoped();
         let mut rng = Rng64::seed_from(seed);
         for n in [13usize, 28, 52] {
             let a = sparse_matrix(&mut rng, 5, 9);
@@ -308,16 +336,73 @@ prop_tests! {
     }
 
     // ---- pooled `_into` twins match their allocating forms ---------
+    // Run under BOTH backends: the `_into` contract ("bit-identical to
+    // the allocating twin, whatever the stale pooled contents") must
+    // hold per backend, not just for the oracle.
 
     fn matmul_into_matches_allocating((a, b) in matmul_pair) {
-        let expected = a.matmul(&b);
-        // Start from garbage so a stale buffer can't fake a pass.
-        let mut out = Tensor::from_vec(
-            expected.dims(),
-            vec![f64::NAN; expected.len()],
-        ).unwrap();
-        a.matmul_into(&b, &mut out);
-        assert_bit_identical(&out, &expected);
+        for backend in BACKENDS {
+            let _scope = backend.scoped();
+            let expected = a.matmul(&b);
+            // Start from garbage so a stale buffer can't fake a pass.
+            let mut out = Tensor::from_vec(
+                expected.dims(),
+                vec![f64::NAN; expected.len()],
+            ).unwrap();
+            a.matmul_into(&b, &mut out);
+            assert_bit_identical(&out, &expected);
+        }
+    }
+
+    // Slice-level pooled twins (`ema_tensor::kernels`) under both
+    // backends: the batched autodiff backward pass replays gradient
+    // pieces through these, so their twin-equality is what lets the
+    // SIMD backend reach the whole batched path unchanged.
+    fn kernel_slice_twins_match_tensor_ops((a, b) in tn_pair) {
+        let (k, m) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        for backend in BACKENDS {
+            let _scope = backend.scoped();
+            let mut out = vec![f64::NAN; m * n];
+            ema_tensor::kernels::matmul_tn_into(a.data(), b.data(), &mut out, k, m, n);
+            prop_assert!(
+                out == a.matmul_tn(&b).data(),
+                "matmul_tn_into diverged from Tensor twin on {:?}",
+                backend
+            );
+            let at = a.transpose();
+            let mut out2 = vec![f64::NAN; m * n];
+            ema_tensor::kernels::matmul_into(at.data(), b.data(), &mut out2, m, k, n);
+            prop_assert!(
+                out2 == at.matmul(&b).data(),
+                "matmul_into diverged from Tensor twin on {:?}",
+                backend
+            );
+            let bt = b.transpose();
+            let mut out3 = vec![f64::NAN; m * n];
+            ema_tensor::kernels::matmul_nt_into(at.data(), bt.data(), &mut out3, m, k, n);
+            prop_assert!(
+                out3 == at.matmul_nt(&bt).data(),
+                "matmul_nt_into diverged from Tensor twin on {:?}",
+                backend
+            );
+        }
+    }
+
+    // Forced-blocked-path `_into` twin under both backends, on pooled
+    // stale buffers: 64·65·64 crosses MM_BLOCK_THRESHOLD with n > 64.
+    @cases(4)
+    fn blocked_matmul_into_matches_allocating_on_both_backends(seed in gen::u64_below(1_000_000)) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = sparse_matrix(&mut rng, 64, 64);
+        let b = sparse_matrix(&mut rng, 64, 65);
+        for backend in BACKENDS {
+            let _scope = backend.scoped();
+            let expected = a.matmul(&b);
+            let mut out = Tensor::filled(&[64, 65], f64::NAN);
+            a.matmul_into(&b, &mut out);
+            assert_bit_identical(&out, &expected);
+        }
     }
 
     fn add_into_matches_allocating((a, b) in vec_pair) {

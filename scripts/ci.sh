@@ -23,8 +23,17 @@ done
 echo "==> cargo build (all targets)"
 cargo build --offline --workspace --all-targets
 
-echo "==> cargo test"
-cargo test --offline --workspace -q
+echo "==> cargo test (EMA_KERNEL=scalar)"
+# The whole suite once per kernel backend: the scalar bit-identity
+# oracle and the SIMD hot path (on machines without AVX2+FMA the simd
+# run degrades to scalar and is a cheap no-op re-check). Backend-pinned
+# tests (properties, backend_equivalence, the determinism fixtures)
+# scope their own backend, so these env runs primarily sweep everything
+# that follows the process default.
+EMA_KERNEL=scalar cargo test --offline --workspace -q
+
+echo "==> cargo test (EMA_KERNEL=simd)"
+EMA_KERNEL=simd cargo test --offline --workspace -q
 
 echo "==> cargo test (EMA_THREADS=4)"
 # Re-run the suite on a 4-worker cohort executor: results must be

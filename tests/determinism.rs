@@ -8,7 +8,7 @@ use ema_core::checkpoint::Checkpoint;
 use ema_core::experiments::ExperimentScale;
 use ema_core::pipeline::{run_cohort_with, GraphSpec};
 use ema_core::Executor;
-use ema_core::ForwardPath;
+use ema_core::{ForwardPath, KernelBackend};
 use ema_core::results::{CellStat, ResultTable};
 use ema_graph::sparsify::DensityThreshold;
 use ema_models::ModelKind;
@@ -34,6 +34,17 @@ fn tiny_results_json_with(executor: &Executor) -> String {
 /// [`tiny_results_json_with`] with an explicit training forward path
 /// (batched hot path vs per-window oracle).
 fn tiny_results_json_on(executor: &Executor, forward_path: ForwardPath) -> String {
+    tiny_results_json_kernel(executor, forward_path, KernelBackend::default())
+}
+
+/// The full knob set: executor, forward path, and matmul kernel
+/// backend. Pinning the backend in the spec makes the probe independent
+/// of the `EMA_KERNEL` environment the test process runs under.
+fn tiny_results_json_kernel(
+    executor: &Executor,
+    forward_path: ForwardPath,
+    kernel_backend: KernelBackend,
+) -> String {
     let mut scale = ExperimentScale::tiny();
     scale.num_individuals = 2;
     scale.epochs = 3;
@@ -53,6 +64,7 @@ fn tiny_results_json_on(executor: &Executor, forward_path: ForwardPath) -> Strin
     ] {
         let mut spec = scale.spec(model, graph, 2);
         spec.train_config.forward_path = forward_path;
+        spec.train_config.kernel_backend = kernel_backend;
         let outcomes = run_cohort_with(&dataset, &spec, executor);
         let mses: Vec<f64> = outcomes.iter().map(|o| o.mse).collect();
         table.push_row(label, vec![CellStat::from_samples(&mses)]);
@@ -227,6 +239,59 @@ fn warm_buffer_pool_never_changes_results_json() {
     assert!(
         warm == sequential_warm,
         "warm pool: threads=4 vs threads=1 diverged:\n--- threads=4 ---\n{warm}\n--- threads=1 ---\n{sequential_warm}"
+    );
+}
+
+/// The SIMD backend upholds the executor's headline guarantee exactly
+/// like the scalar oracle: full results JSON byte-identical at
+/// threads=1 vs threads=4 (kernel dispatch is per-thread state, and
+/// every random stream is derived from `(run seed, id)`).
+#[test]
+fn simd_backend_results_json_identical_across_thread_counts() {
+    let sequential = tiny_results_json_kernel(
+        &Executor::sequential(),
+        ForwardPath::default(),
+        KernelBackend::Simd,
+    );
+    let pooled = tiny_results_json_kernel(
+        &Executor::with_threads(4),
+        ForwardPath::default(),
+        KernelBackend::Simd,
+    );
+    assert!(
+        sequential == pooled,
+        "EMA_KERNEL=simd: threads=1 vs threads=4 diverged:\n--- threads=1 ---\n{sequential}\n--- threads=4 ---\n{pooled}"
+    );
+}
+
+/// The scalar oracle is frozen: its results JSON must match the
+/// committed same-seed baseline byte for byte, so any accidental
+/// rewrite of the reference kernel (or of anything upstream of it —
+/// data generation, graph build, training, aggregation, the JSON
+/// writer) is caught even when both backends drift together. Regenerate
+/// deliberately with `EMA_WRITE_BASELINE=1 cargo test -q --test
+/// determinism scalar_backend` after an *intentional* numeric change.
+#[test]
+fn scalar_backend_results_match_committed_baseline() {
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("tests/fixtures/scalar_baseline.json");
+    let current = tiny_results_json_kernel(
+        &Executor::with_threads(4),
+        ForwardPath::default(),
+        KernelBackend::Scalar,
+    );
+    if std::env::var_os("EMA_WRITE_BASELINE").is_some() {
+        std::fs::write(&fixture, &current).expect("write scalar baseline fixture");
+        return;
+    }
+    let committed = std::fs::read_to_string(&fixture)
+        .expect("committed scalar baseline missing; regenerate with EMA_WRITE_BASELINE=1");
+    assert!(
+        current == committed,
+        "scalar-backend results diverged from the committed baseline:\n--- committed ---\n{committed}\n--- current ---\n{current}"
     );
 }
 
