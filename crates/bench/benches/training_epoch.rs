@@ -6,10 +6,12 @@
 
 use ema_autodiff::{Grads, Tape};
 use ema_bench::Harness;
+use ema_core::{train_model, TrainConfig};
 use ema_data::{make_windows, split_train_test};
 use ema_graph::AdjacencyMatrix;
 use ema_models::{build_model, ForwardCtx, ModelConfig, ModelKind, WindowBatch};
 use ema_nn::{Adam, Optimizer, OptimizerConfig};
+use ema_obs::ObsMode;
 use ema_tensor::{Rng64, Tensor};
 use std::hint::black_box;
 
@@ -55,8 +57,33 @@ fn bench_epoch(c: &mut Harness) {
     }
 }
 
+/// The observability tax: the same short LSTM training run timed under
+/// `EMA_OBS=off` (inert span guards, kernel counting disabled) and
+/// `full` (spans profiled + emitted, kernel FLOP/byte counters live).
+/// The two medians land in `BENCH_training_epoch.json`, so `bench_gate`
+/// holds the line on both and their ratio tracks the instrumentation
+/// overhead — the contract is that `full` stays within a few percent of
+/// `off` on the epoch hot path.
+fn bench_obs_overhead(c: &mut Harness) {
+    let mut rng = Rng64::seed_from(3);
+    let data = Tensor::rand_normal(&[80, V], 0.0, 1.0, &mut rng);
+    let (train, _) = split_train_test(&data, 0.7);
+    let windows = make_windows(&train, SEQ);
+    let config = TrainConfig { epochs: 5, ..TrainConfig::default() };
+    let restore = ema_obs::mode();
+    for (label, mode) in [("off", ObsMode::Off), ("full", ObsMode::Full)] {
+        ema_obs::set_mode(mode);
+        let mut model = build_model(ModelKind::Lstm, V, SEQ, &ModelConfig::default(), None);
+        c.bench_function(&format!("obs_overhead_{label}"), |b| {
+            b.iter(|| black_box(train_model(model.as_mut(), &windows, &config).final_loss()))
+        });
+    }
+    ema_obs::set_mode(restore);
+}
+
 fn main() {
     let mut harness = Harness::new("training_epoch");
     bench_epoch(&mut harness);
+    bench_obs_overhead(&mut harness);
     harness.finish();
 }

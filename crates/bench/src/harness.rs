@@ -202,6 +202,9 @@ impl Harness {
         {
             let _bench_span = ema_obs::span!("bench", suite = self.suite.as_str(), name = name);
             f(&mut bencher);
+            // Attribute the benchmark's kernel work to the bench span's
+            // phase rather than letting it leak into a later drain site.
+            ema_obs::drain_kernel_counters();
         }
         let (median_ns, min_ns, mean_ns, iters) = bencher
             .result

@@ -29,6 +29,7 @@
 
 pub mod alloc;
 pub mod harness;
+pub mod report;
 
 pub use harness::{BenchResult, Bencher, Harness};
 

@@ -41,8 +41,18 @@
 //! the recorder in one batch when the job finishes, so the JSONL
 //! manifest stays parseable and each job's events stay contiguous even
 //! with many workers interleaving.
+//!
+//! Utilization telemetry (all timing-only, so it lives exclusively in
+//! obs output): every job observation lands in the
+//! `exec.job_latency_ns` histogram, and each worker publishes
+//! `exec.worker_busy_ns.<w>` / `exec.worker_wait_ns.<w>` /
+//! `exec.worker_jobs.<w>` counters when its run-loop ends — busy is the
+//! summed job time, wait is the rest of the loop (queue contention +
+//! idle tail). `obs_report` renders these as a per-worker utilization
+//! table with p50/p99 job latency.
 
-use ema_obs::span;
+use ema_obs::metrics::TIME_NS_BUCKETS;
+use ema_obs::{span, ObsMode, Recorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -187,7 +197,22 @@ impl Executor {
     pub fn run<T: Send>(&self, jobs: Vec<Job<'_, T>>) -> Vec<JobResult<T>> {
         match self.backend {
             Backend::Sequential => {
-                jobs.into_iter().map(|job| execute_job(job, 0)).collect()
+                let recorder = ema_obs::recorder();
+                let loop_start = recorder.elapsed_ns();
+                let mut busy_ns = 0u64;
+                let mut jobs_run = 0u64;
+                let results = jobs
+                    .into_iter()
+                    .map(|job| {
+                        let (result, job_ns) = execute_job(job, 0);
+                        busy_ns += job_ns;
+                        jobs_run += 1;
+                        result
+                    })
+                    .collect();
+                let total_ns = recorder.elapsed_ns().saturating_sub(loop_start);
+                publish_worker_utilization(recorder, 0, jobs_run, busy_ns, total_ns);
+                results
             }
             Backend::ThreadPool { threads } => run_pool(jobs, threads),
         }
@@ -232,22 +257,55 @@ pub fn expect_all<T>(results: Vec<JobResult<T>>, what: &str) -> Vec<T> {
 
 /// Runs one job under a worker scope, converting a panic into a
 /// [`JobError`]. The tensor-pool hit/miss deltas accumulated while the
-/// job ran are published as obs counters (telemetry only — whether a
-/// buffer request hits the pool can never change results).
-fn execute_job<T>(job: Job<'_, T>, worker: usize) -> JobResult<T> {
+/// job ran are published as obs counters, the kernel work counters the
+/// thread accumulated are drained into per-phase metrics, and the job's
+/// wall time feeds the `exec.job_latency_ns` histogram (telemetry only —
+/// none of it can change results). Returns the result plus the job's
+/// wall nanoseconds so the worker loop can account busy time.
+fn execute_job<T>(job: Job<'_, T>, worker: usize) -> (JobResult<T>, u64) {
     let Job { label, task } = job;
     let recorder = ema_obs::recorder();
     let _worker_scope = recorder.worker_scope(worker);
-    let _job_span = span!("job", label = label.as_str(), worker = worker);
-    let before = ema_tensor::pool::stats();
-    let outcome = catch_unwind(AssertUnwindSafe(task));
-    let after = ema_tensor::pool::stats();
-    recorder.inc_counter("pool_hits", after.hits - before.hits);
-    recorder.inc_counter("pool_misses", after.misses - before.misses);
-    match outcome {
+    let started_ns = recorder.elapsed_ns();
+    let outcome = {
+        let _job_span = span!("job", label = label.as_str(), worker = worker);
+        let before = ema_tensor::pool::stats();
+        let outcome = catch_unwind(AssertUnwindSafe(task));
+        let after = ema_tensor::pool::stats();
+        recorder.inc_counter("pool_hits", after.hits - before.hits);
+        recorder.inc_counter("pool_misses", after.misses - before.misses);
+        // Attribute the matmul work this thread just did (including any
+        // a panicking job got through) to the current run phase.
+        recorder.drain_kernel_counters();
+        outcome
+    };
+    let job_ns = recorder.elapsed_ns().saturating_sub(started_ns);
+    recorder.observe("exec.job_latency_ns", &TIME_NS_BUCKETS, job_ns as f64);
+    let result = match outcome {
         Ok(value) => Ok(value),
         Err(payload) => Err(JobError { label, message: panic_message(payload.as_ref()) }),
+    };
+    (result, job_ns)
+}
+
+/// Publishes one worker's utilization counters at the end of its run
+/// loop: summed job (busy) time, the remainder of the loop (wait:
+/// queue handoff + idle tail) and how many jobs it took. Skipped when
+/// the worker ran nothing — idle workers still show up through the
+/// pool's worker count, and zero-filled counters would drown summaries.
+fn publish_worker_utilization(
+    recorder: &Recorder,
+    worker: usize,
+    jobs_run: u64,
+    busy_ns: u64,
+    total_ns: u64,
+) {
+    if recorder.mode() == ObsMode::Off || jobs_run == 0 {
+        return;
     }
+    recorder.inc_counter(&format!("exec.worker_busy_ns.{worker}"), busy_ns);
+    recorder.inc_counter(&format!("exec.worker_wait_ns.{worker}"), total_ns.saturating_sub(busy_ns));
+    recorder.inc_counter(&format!("exec.worker_jobs.{worker}"), jobs_run);
 }
 
 /// Renders a panic payload as text (panics carry `&str` or `String`).
@@ -290,15 +348,23 @@ fn run_pool<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<JobResult<T>>
                 // buffers are handed across runs via the shelf: adopt a
                 // parked pool on the way in, park ours on the way out.
                 ema_tensor::pool::adopt_stashed();
+                let recorder = ema_obs::recorder();
+                let loop_start = recorder.elapsed_ns();
+                let mut busy_ns = 0u64;
+                let mut jobs_run = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let job = lock(&queue[i]).take().expect("each job is taken exactly once");
-                    let result = execute_job(job, worker);
+                    let (result, job_ns) = execute_job(job, worker);
+                    busy_ns += job_ns;
+                    jobs_run += 1;
                     *lock(&slots[i]) = Some(result);
                 }
+                let total_ns = recorder.elapsed_ns().saturating_sub(loop_start);
+                publish_worker_utilization(recorder, worker, jobs_run, busy_ns, total_ns);
                 ema_tensor::pool::stash_local();
             });
         }
@@ -400,6 +466,48 @@ mod tests {
         assert_eq!(Executor::with_threads(1).backend(), Backend::Sequential);
         assert_eq!(Executor::with_threads(1).threads(), 1);
         assert_eq!(Executor::with_threads(6).threads(), 6);
+    }
+
+    #[test]
+    fn executors_publish_utilization_counters() {
+        // Exercises the global recorder, so it reads deltas (other
+        // tests may run jobs concurrently) and skips under EMA_OBS=off.
+        if ema_obs::mode() == ObsMode::Off {
+            return;
+        }
+        let sum_jobs = || -> u64 {
+            let snap = ema_obs::recorder().metrics_snapshot();
+            match snap.require("counters").unwrap() {
+                ema_obs::Json::Obj(pairs) => pairs
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("exec.worker_jobs."))
+                    .map(|(_, v)| v.to_usize().unwrap() as u64)
+                    .sum(),
+                _ => panic!("counters is an object"),
+            }
+        };
+        let latency_total = || -> u64 {
+            let snap = ema_obs::recorder().metrics_snapshot();
+            snap.require("histograms")
+                .and_then(|h| h.require("exec.job_latency_ns"))
+                .and_then(|h| h.require("total"))
+                .ok()
+                .and_then(|t| t.to_usize().ok())
+                .unwrap_or(0) as u64
+        };
+        let (jobs_before, lat_before) = (sum_jobs(), latency_total());
+        let out = Executor::with_threads(2).run(jobs_squaring(6));
+        assert_eq!(out.len(), 6);
+        let out = Executor::sequential().run(jobs_squaring(2));
+        assert_eq!(out.len(), 2);
+        assert!(
+            sum_jobs() >= jobs_before + 8,
+            "worker_jobs counters did not account for all jobs"
+        );
+        assert!(
+            latency_total() >= lat_before + 8,
+            "job latency histogram missed observations"
+        );
     }
 
     #[test]

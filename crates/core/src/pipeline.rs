@@ -219,6 +219,12 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
         None
     };
 
+    // Kernel work from graph build + evaluation (training drained its
+    // own share already) lands in the current phase before the job's
+    // span closes; take-semantics keep this and the executor's
+    // job-level drain from double counting.
+    ema_obs::drain_kernel_counters();
+
     IndividualOutcome {
         id,
         mse,

@@ -197,8 +197,18 @@ pub fn train_model(
         grad_norms.push(grad_norm);
         adam.step(model.params_mut(), &binding, &grads);
 
-        point!("train_epoch", epoch = epoch, loss = loss_value, grad_norm = grad_norm);
+        point!(
+            "train_epoch",
+            epoch = epoch,
+            loss = loss_value,
+            grad_norm = grad_norm,
+            tape_nodes = tape.len()
+        );
         obs.observe("train_loss", &LOSS_BUCKETS, loss_value);
+        // Graph size per epoch: constant across epochs by construction
+        // (one tape graph, reset each epoch), so a gauge suffices — a
+        // drift here means a model is leaking nodes into the tape.
+        obs.set_gauge("tape_nodes", tape.len() as f64);
 
         // Optional early stopping on stalled training loss.
         if config.early_stop_rel > 0.0 {
@@ -225,6 +235,10 @@ pub fn train_model(
     let epochs_run = losses.len();
     obs.observe("epochs_run", &EPOCH_BUCKETS, epochs_run as f64);
     obs.observe("grad_norm_final", &GRAD_NORM_BUCKETS, *grad_norms.last().expect("ran"));
+    // Attribute the kernel work of a direct (non-executor) training run
+    // to the current phase; under the executor the job-level drain in
+    // `exec` usually gets there first — take-semantics make both safe.
+    ema_obs::drain_kernel_counters();
     TrainReport { losses, grad_norms, epochs_run, early_stopped }
 }
 

@@ -38,9 +38,13 @@
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use json::{write_f64, Json, JsonError};
 pub use manifest::default_obs_dir;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use trace::{mode, recorder, set_mode, ObsMode, Recorder, SpanGuard, WorkerScope};
+pub use profile::{Profile, ProfileNode};
+pub use trace::{
+    drain_kernel_counters, mode, recorder, set_mode, ObsMode, Recorder, SpanGuard, WorkerScope,
+};

@@ -28,12 +28,28 @@ pub(crate) struct Phase {
 /// The active run tracked inside the recorder.
 pub(crate) struct RunState {
     name: String,
+    /// File stem for this run's outputs: the name itself, or
+    /// `<name>.<n>` when the same recorder has begun `n` ≥ 2 runs with
+    /// that name — a deterministic, clock-free collision guard so a
+    /// process that runs the same experiment twice keeps both
+    /// manifests.
+    stem: String,
     dir: PathBuf,
     config: Json,
     mode: ObsMode,
     started_ns: u64,
     phases: Vec<Phase>,
     annotations: Vec<(String, Json)>,
+}
+
+impl RunState {
+    /// Title of the currently open phase, when any.
+    pub(crate) fn current_phase_title(&self) -> Option<&str> {
+        self.phases
+            .last()
+            .filter(|p| p.end_ns.is_none())
+            .map(|p| p.title.as_str())
+    }
 }
 
 /// The workspace-anchored obs output directory, `results/obs/` at the
@@ -73,15 +89,25 @@ impl Recorder {
         if inner.run.is_some() {
             let _ = finish_locked(&mut inner, self.elapsed_ns());
         }
-        // Each manifest summarises only its own run.
+        // Each manifest summarises only its own run. The calling
+        // thread's kernel counters are discarded too, so pre-run work
+        // never leaks into the first drain inside the run.
         inner.metrics.reset();
         inner.event_counts.clear();
+        inner.profile = crate::profile::Profile::new();
+        let _ = ema_tensor::take_kernel_counters();
+        // Collision-free file stem: the n-th run named `name` on this
+        // recorder writes `<name>.<n>.*` for n ≥ 2 (first run keeps the
+        // plain name, so existing single-run paths are unchanged).
+        let uses = inner.used_run_names.entry(name.to_string()).or_insert(0);
+        *uses += 1;
+        let stem = if *uses == 1 { name.to_string() } else { format!("{name}.{uses}") };
         if let Err(e) = fs::create_dir_all(dir) {
             eprintln!("warning: cannot create {}: {e}; obs run disabled", dir.display());
             return false;
         }
         if mode == ObsMode::Full && !matches!(inner.sink, Sink::Memory(_)) {
-            let path = dir.join(format!("{name}.jsonl"));
+            let path = dir.join(format!("{stem}.jsonl"));
             match fs::File::create(&path) {
                 Ok(f) => inner.sink = Sink::File(BufWriter::new(f)),
                 Err(e) => {
@@ -91,6 +117,7 @@ impl Recorder {
         }
         inner.run = Some(RunState {
             name: name.to_string(),
+            stem,
             dir: dir.to_path_buf(),
             config,
             mode,
@@ -129,12 +156,24 @@ impl Recorder {
     }
 
     /// Closes the active run: flushes the JSONL log and writes
-    /// `<name>.summary.json`, returning its path. `None` when no run is
-    /// active or the summary could not be written.
+    /// `<name>.summary.json` (plus `<name>.folded` when the span
+    /// profile is non-empty), returning the summary path. `None` when
+    /// no run is active or the summary could not be written.
     pub fn finish_run(&self) -> Option<PathBuf> {
         let now = self.elapsed_ns();
         let mut inner = self.lock();
         finish_locked(&mut inner, now)
+    }
+
+    /// Title of the active run's open phase, when a run with at least
+    /// one phase is in progress.
+    #[must_use]
+    pub fn current_phase(&self) -> Option<String> {
+        self.lock()
+            .run
+            .as_ref()
+            .and_then(RunState::current_phase_title)
+            .map(str::to_string)
     }
 }
 
@@ -167,6 +206,7 @@ fn finish_locked(inner: &mut crate::trace::Inner, now: u64) -> Option<PathBuf> {
             .collect(),
     );
 
+    let profile = std::mem::take(&mut inner.profile);
     let mut pairs = vec![
         ("run", Json::from(run.name.as_str())),
         ("mode", Json::from(run.mode.label())),
@@ -175,13 +215,23 @@ fn finish_locked(inner: &mut crate::trace::Inner, now: u64) -> Option<PathBuf> {
         ("phases", Json::Arr(phases)),
         ("events", events),
         ("metrics", inner.metrics.snapshot()),
+        ("profile", profile.to_json()),
     ];
     for (k, v) in &run.annotations {
         pairs.push((k.as_str(), v.clone()));
     }
     let summary = Json::obj(pairs);
 
-    let path = run.dir.join(format!("{}.summary.json", run.name));
+    // Folded stacks ride along as `<stem>.folded` (flamegraph.pl /
+    // speedscope input); skipped when no span closed during the run.
+    if !profile.is_empty() {
+        let folded_path = run.dir.join(format!("{}.folded", run.stem));
+        if let Err(e) = fs::write(&folded_path, profile.folded()) {
+            eprintln!("warning: cannot write {}: {e}", folded_path.display());
+        }
+    }
+
+    let path = run.dir.join(format!("{}.summary.json", run.stem));
     match fs::write(&path, summary.pretty()) {
         Ok(()) => Some(path),
         Err(e) => {
@@ -275,6 +325,72 @@ mod tests {
             summary.require("events").unwrap().require("train_epoch").unwrap().to_usize().unwrap(),
             1
         );
+    }
+
+    #[test]
+    fn summary_carries_the_profile_and_folded_stacks_land_on_disk() {
+        let dir = scratch("profile");
+        let rec = Recorder::with_mode(ObsMode::Summary);
+        assert!(rec.begin_run_in("probe", Json::Null, &dir));
+        rec.phase("work");
+        {
+            let _outer = rec.span("main", vec![]);
+            let _inner = rec.span("step", vec![]);
+        }
+        let path = rec.finish_run().expect("summary written");
+        let summary = Json::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+        let profile =
+            crate::profile::Profile::from_json(summary.require("profile").unwrap()).unwrap();
+        let (name, main) = profile.roots().next().expect("profiled root");
+        assert_eq!(name, "main");
+        assert_eq!(main.children().next().unwrap().0, "step");
+        let folded = fs::read_to_string(dir.join("probe.folded")).unwrap();
+        assert!(folded.lines().any(|l| l.starts_with("main;step ")));
+        // The next run starts from an empty profile.
+        assert!(rec.begin_run_in("again", Json::Null, &dir));
+        let again = rec.finish_run().unwrap();
+        let summary = Json::parse(&fs::read_to_string(&again).unwrap()).unwrap();
+        assert_eq!(summary.require("profile").unwrap().to_arr().unwrap().len(), 0);
+        assert!(!dir.join("again.folded").exists(), "empty profiles write no folded file");
+    }
+
+    #[test]
+    fn repeated_run_names_get_distinct_file_stems() {
+        let dir = scratch("collide");
+        let rec = Recorder::with_mode(ObsMode::Summary);
+        for i in 0..3usize {
+            assert!(rec.begin_run_in("probe", Json::obj(vec![("i", Json::from(i))]), &dir));
+            rec.finish_run().expect("summary written");
+        }
+        for stem in ["probe", "probe.2", "probe.3"] {
+            let path = dir.join(format!("{stem}.summary.json"));
+            assert!(path.exists(), "missing {}", path.display());
+            let summary = Json::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+            // The run *name* stays the plain name; only files get stems.
+            assert_eq!(summary.require("run").unwrap().to_str().unwrap(), "probe");
+        }
+        // All three configs survived — nothing was overwritten.
+        let i_of = |stem: &str| {
+            let path = dir.join(format!("{stem}.summary.json"));
+            let s = Json::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+            s.require("config").unwrap().require("i").unwrap().to_usize().unwrap()
+        };
+        assert_eq!((i_of("probe"), i_of("probe.2"), i_of("probe.3")), (0, 1, 2));
+    }
+
+    #[test]
+    fn current_phase_tracks_the_open_phase() {
+        let dir = scratch("phase");
+        let rec = Recorder::with_mode(ObsMode::Summary);
+        assert_eq!(rec.current_phase(), None);
+        assert!(rec.begin_run_in("probe", Json::Null, &dir));
+        assert_eq!(rec.current_phase(), None, "no phase opened yet");
+        rec.phase("train");
+        assert_eq!(rec.current_phase().as_deref(), Some("train"));
+        rec.phase("report");
+        assert_eq!(rec.current_phase().as_deref(), Some("report"));
+        rec.finish_run();
+        assert_eq!(rec.current_phase(), None);
     }
 
     #[test]

@@ -119,6 +119,53 @@ impl Histogram {
         (finite > 0).then(|| self.sum / finite as f64)
     }
 
+    /// Estimates the `p`-quantile (`p` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank —
+    /// the standard fixed-bucket estimate, exact only at bucket edges.
+    /// The first bucket interpolates up from the observed minimum and
+    /// the overflow bucket up to the observed maximum, so estimates are
+    /// always bracketed by the enclosing bucket's edges (and the
+    /// estimate is monotone in `p` — both property-tested). Non-finite
+    /// observations sit in the overflow bucket and can drag high
+    /// quantiles toward the recorded finite maximum. `None` before the
+    /// first observation.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = p.clamp(0.0, 1.0) * self.total as f64;
+        let last_bound = *self.bounds.last().expect("bounds are never empty");
+        let mut cum = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if (cum + count) as f64 >= target {
+                let lo = if i == 0 {
+                    if self.min.is_finite() { self.min } else { self.bounds[0] }
+                } else {
+                    self.bounds[i - 1]
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else if self.max.is_finite() {
+                    self.max.max(last_bound)
+                } else {
+                    last_bound
+                };
+                let frac = ((target - cum as f64) / count as f64).clamp(0.0, 1.0);
+                // Clamp away interpolation rounding so the estimate
+                // never escapes its bucket.
+                return Some((lo + (hi - lo) * frac).clamp(lo, hi));
+            }
+            cum += count;
+        }
+        // Unreachable for a consistent histogram (cum reaches total),
+        // but obs never panics: fall back to the largest known value.
+        Some(if self.max.is_finite() { self.max.max(last_bound) } else { last_bound })
+    }
+
     fn to_json(&self) -> Json {
         let finite = self.total - self.nonfinite;
         let mut pairs = vec![
@@ -129,12 +176,50 @@ impl Histogram {
             ),
             ("total", Json::from(self.total)),
         ];
+        if self.nonfinite > 0 {
+            pairs.push(("nonfinite", Json::from(self.nonfinite)));
+        }
         if finite > 0 {
             pairs.push(("sum", Json::Num(self.sum)));
             pairs.push(("min", Json::Num(self.min)));
             pairs.push(("max", Json::Num(self.max)));
         }
         Json::obj(pairs)
+    }
+
+    /// Parses the snapshot form written by
+    /// [`MetricsRegistry::snapshot`] back into a histogram (`None` on
+    /// any shape mismatch) — how `obs_report` re-derives quantiles from
+    /// a run summary.
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<Histogram> {
+        let bounds: Vec<f64> =
+            j.get("bounds")?.as_arr()?.iter().map(Json::as_f64).collect::<Option<_>>()?;
+        let counts: Vec<u64> = j
+            .get("counts")?
+            .as_arr()?
+            .iter()
+            .map(|c| c.as_usize().map(|v| v as u64))
+            .collect::<Option<_>>()?;
+        if bounds.is_empty() || counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        for pair in bounds.windows(2) {
+            if pair[0].partial_cmp(&pair[1]) != Some(std::cmp::Ordering::Less) {
+                return None;
+            }
+        }
+        let total = j.get("total")?.as_usize()? as u64;
+        let nonfinite = j.get("nonfinite").and_then(Json::as_usize).unwrap_or(0) as u64;
+        Some(Histogram {
+            bounds,
+            counts,
+            total,
+            nonfinite,
+            sum: j.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
+            min: j.get("min").and_then(Json::as_f64).unwrap_or(f64::INFINITY),
+            max: j.get("max").and_then(Json::as_f64).unwrap_or(f64::NEG_INFINITY),
+        })
     }
 }
 
@@ -276,6 +361,57 @@ mod tests {
         assert_eq!(m.histogram("loss").unwrap().total(), 1);
         m.reset();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        assert_eq!(h.quantile(0.5), None);
+        // Four observations in (10, 20]: ranks interpolate linearly
+        // across that bucket.
+        for v in [12.0, 14.0, 16.0, 18.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(0.5), Some(15.0));
+        assert_eq!(h.quantile(1.0), Some(20.0));
+        // p is clamped.
+        assert_eq!(h.quantile(-1.0), Some(10.0));
+        assert_eq!(h.quantile(2.0), Some(20.0));
+    }
+
+    #[test]
+    fn quantile_uses_min_and_max_for_the_edge_buckets() {
+        let mut h = Histogram::new(&[10.0]);
+        h.observe(4.0); // first bucket: lo = observed min
+        h.observe(30.0); // overflow: hi = observed max
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(30.0));
+    }
+
+    #[test]
+    fn quantile_survives_nonfinite_observations() {
+        let mut h = Histogram::new(&[10.0]);
+        h.observe(f64::NAN);
+        // Only the overflow bucket is populated and no finite max was
+        // seen: the estimate falls back to the last bound.
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_json_round_trip_preserves_quantiles() {
+        let mut h = Histogram::new(&TIME_NS_BUCKETS);
+        for v in [5e3, 2e4, 3.5e5, 1e7, 2e12, f64::INFINITY] {
+            h.observe(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).expect("parses");
+        assert_eq!(back, h);
+        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+        assert_eq!(back.quantile(0.99), h.quantile(0.99));
+        // Shape mismatches are rejected, not mis-parsed.
+        assert!(Histogram::from_json(&Json::Null).is_none());
+        assert!(Histogram::from_json(&Json::obj(vec![("bounds", Json::Arr(vec![]))])).is_none());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::json::Json;
 use crate::manifest::RunState;
 use crate::metrics::MetricsRegistry;
+use crate::profile::Profile;
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -117,6 +118,13 @@ pub(crate) struct Inner {
     pub(crate) event_counts: BTreeMap<String, u64>,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) run: Option<RunState>,
+    /// Aggregated span profile (see [`crate::profile`]); thread-local
+    /// aggregators merge into it when their root span closes, and run
+    /// boundaries reset it alongside the metrics.
+    pub(crate) profile: Profile,
+    /// Run names already used by this recorder, for collision-free file
+    /// stems; deliberately *not* reset at run boundaries.
+    pub(crate) used_run_names: BTreeMap<String, u64>,
 }
 
 /// A thread-safe telemetry recorder; see the module docs for the
@@ -135,6 +143,20 @@ thread_local! {
     static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
     static WORKER_BUF: std::cell::RefCell<Option<WorkerBuffer>> =
         const { std::cell::RefCell::new(None) };
+    static PROFILER: std::cell::RefCell<Option<ThreadProfiler>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Per-thread span profile under construction: the live call stack plus
+/// the durations recorded so far. Like [`WorkerBuffer`] it is keyed to
+/// one recorder, and it merges into that recorder's shared
+/// [`Profile`] in a single locked section when the thread's *root* span
+/// closes — so profiling adds no lock traffic inside the span tree,
+/// matching the worker-scope batching discipline.
+struct ThreadProfiler {
+    rec: *const Recorder,
+    stack: Vec<String>,
+    profile: Profile,
 }
 
 /// Events buffered on a worker thread while a [`WorkerScope`] is open.
@@ -170,6 +192,8 @@ impl Recorder {
                 event_counts: BTreeMap::new(),
                 metrics: MetricsRegistry::new(),
                 run: None,
+                profile: Profile::new(),
+                used_run_names: BTreeMap::new(),
             }),
         }
     }
@@ -241,12 +265,41 @@ impl Recorder {
     #[must_use]
     pub fn span(&self, name: &str, fields: Vec<(&str, Json)>) -> SpanGuard<'_> {
         if self.mode() == ObsMode::Off {
-            return SpanGuard { rec: None, name: String::new(), start_ns: 0, depth: 0, thread: 0 };
+            return SpanGuard {
+                rec: None,
+                name: String::new(),
+                start_ns: 0,
+                depth: 0,
+                thread: 0,
+                profiled: false,
+            };
         }
         let depth = DEPTH.with(|d| {
             let depth = d.get();
             d.set(depth + 1);
             depth
+        });
+        // Push onto this thread's profile stack — unless a *different*
+        // recorder's profiler is mid-tree here (a private test recorder
+        // nesting inside global spans, or vice versa); those spans stay
+        // unprofiled rather than corrupting the other tree.
+        let profiled = PROFILER.with(|p| {
+            let mut slot = p.borrow_mut();
+            match slot.as_mut() {
+                None => {
+                    *slot = Some(ThreadProfiler {
+                        rec: self,
+                        stack: vec![name.to_string()],
+                        profile: Profile::new(),
+                    });
+                    true
+                }
+                Some(prof) if std::ptr::eq(prof.rec, self) => {
+                    prof.stack.push(name.to_string());
+                    true
+                }
+                Some(_) => false,
+            }
         });
         let thread = thread_id();
         let start_ns = self.elapsed_ns();
@@ -262,7 +315,7 @@ impl Recorder {
         }
         entry.push(("fields", Json::obj(fields)));
         self.emit(name, Json::obj(entry));
-        SpanGuard { rec: Some(self), name: name.to_string(), start_ns, depth, thread }
+        SpanGuard { rec: Some(self), name: name.to_string(), start_ns, depth, thread, profiled }
     }
 
     /// Emits one instantaneous event (no duration), e.g. a
@@ -328,6 +381,52 @@ impl Recorder {
             _ => Vec::new(),
         }
     }
+
+    /// A copy of the aggregated span profile so far. Only *fully closed*
+    /// root spans are visible — per-thread trees still open contribute
+    /// nothing until their root exits (run summaries are written after
+    /// all spans close, so they always see the complete profile).
+    #[must_use]
+    pub fn profile_snapshot(&self) -> Profile {
+        self.lock().profile.clone()
+    }
+
+    /// Drains this thread's [`ema_tensor`] kernel work counters into
+    /// metrics counters named `kernel.<phase>.<backend>.{calls,flops,
+    /// bytes}`, where `<phase>` is the active run phase (or `run`
+    /// without one). Take-semantics: each call consumes what this
+    /// thread accumulated since the previous drain, so the drain sites
+    /// (executor jobs, `train_model`, the bench harness) compose
+    /// without double counting. No-op in `Off` mode — but the counters
+    /// only accumulate while the mode keeps [`ema_tensor::
+    /// set_kernel_counting`] enabled anyway (see [`set_mode`]).
+    pub fn drain_kernel_counters(&self) {
+        if self.mode() == ObsMode::Off {
+            // Still clear the thread's counters so work accumulated
+            // around a mode flip is never misattributed later.
+            let _ = ema_tensor::take_kernel_counters();
+            return;
+        }
+        let snap = ema_tensor::take_kernel_counters();
+        if snap.is_empty() {
+            return;
+        }
+        let mut inner = self.lock();
+        let phase = inner
+            .run
+            .as_ref()
+            .and_then(RunState::current_phase_title)
+            .unwrap_or("run")
+            .to_string();
+        for (backend, c) in [("scalar", snap.scalar), ("simd", snap.simd)] {
+            if c.calls == 0 {
+                continue;
+            }
+            inner.metrics.inc_counter(&format!("kernel.{phase}.{backend}.calls"), c.calls);
+            inner.metrics.inc_counter(&format!("kernel.{phase}.{backend}.flops"), c.flops);
+            inner.metrics.inc_counter(&format!("kernel.{phase}.{backend}.bytes"), c.bytes);
+        }
+    }
 }
 
 /// RAII guard for an open span; emits the `exit` event on drop.
@@ -337,6 +436,7 @@ pub struct SpanGuard<'a> {
     start_ns: u64,
     depth: usize,
     thread: usize,
+    profiled: bool,
 }
 
 impl Drop for SpanGuard<'_> {
@@ -344,6 +444,7 @@ impl Drop for SpanGuard<'_> {
         let Some(rec) = self.rec else { return };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let now = rec.elapsed_ns();
+        let dur_ns = now.saturating_sub(self.start_ns);
         let mut entry = vec![
             ("ev", Json::from("exit")),
             ("span", Json::from(self.name.as_str())),
@@ -354,8 +455,40 @@ impl Drop for SpanGuard<'_> {
         if let Some(worker) = WORKER.with(Cell::get) {
             entry.push(("worker", Json::from(worker)));
         }
-        entry.push(("dur_ns", Json::from(now.saturating_sub(self.start_ns))));
+        entry.push(("dur_ns", Json::from(dur_ns)));
         rec.emit(&self.name, Json::obj(entry));
+        if self.profiled {
+            self.record_profile(rec, dur_ns);
+        }
+    }
+}
+
+impl SpanGuard<'_> {
+    /// Records this span's duration under its call path and, when it
+    /// was the thread's root span, merges the finished per-thread tree
+    /// into the recorder. Guards held past their scope (non-LIFO drops)
+    /// are discarded defensively, matching
+    /// [`Profile::from_events`](crate::profile::Profile::from_events).
+    fn record_profile(&self, rec: &Recorder, dur_ns: u64) {
+        let finished = PROFILER.with(|p| {
+            let mut slot = p.borrow_mut();
+            let prof = slot.as_mut()?;
+            if !std::ptr::eq(prof.rec, rec) {
+                return None;
+            }
+            if prof.stack.last().map(String::as_str) == Some(self.name.as_str()) {
+                prof.profile.record(&prof.stack, dur_ns);
+                prof.stack.pop();
+            }
+            if prof.stack.is_empty() {
+                slot.take()
+            } else {
+                None
+            }
+        });
+        if let Some(prof) = finished {
+            rec.lock().profile.merge(&prof.profile);
+        }
     }
 }
 
@@ -414,9 +547,14 @@ static GLOBAL: OnceLock<Recorder> = OnceLock::new();
 
 /// The process-wide recorder, created from `EMA_OBS` on first use.
 /// Instrumented library code (training loop, pipeline, bench harness)
-/// reports here.
+/// reports here. Kernel work counting in `ema-tensor` follows this
+/// recorder's mode: enabled unless the mode is `Off`.
 pub fn recorder() -> &'static Recorder {
-    GLOBAL.get_or_init(Recorder::from_env)
+    GLOBAL.get_or_init(|| {
+        let rec = Recorder::from_env();
+        ema_tensor::set_kernel_counting(rec.mode() != ObsMode::Off);
+        rec
+    })
 }
 
 /// Shorthand for `recorder().mode()`.
@@ -425,9 +563,18 @@ pub fn mode() -> ObsMode {
     recorder().mode()
 }
 
-/// Shorthand for `recorder().set_mode(mode)`.
+/// Sets the global recorder's mode and keeps the process-wide
+/// `ema-tensor` kernel counting flag in sync (off ⇔ no counting, so
+/// `EMA_OBS=off` pays nothing on the matmul hot path).
 pub fn set_mode(mode: ObsMode) {
     recorder().set_mode(mode);
+    ema_tensor::set_kernel_counting(mode != ObsMode::Off);
+}
+
+/// Shorthand for `recorder().drain_kernel_counters()`: attribute this
+/// thread's accumulated kernel work to the global recorder's metrics.
+pub fn drain_kernel_counters() {
+    recorder().drain_kernel_counters();
 }
 
 /// Opens a span on the global recorder:
@@ -591,6 +738,103 @@ mod tests {
         rec.point("bare", vec![]);
         let events = rec.drain_events();
         assert!(events[0].get("worker").is_none());
+    }
+
+    #[test]
+    fn spans_aggregate_into_the_profile_at_root_exit() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        {
+            let _outer = rec.span("outer", vec![]);
+            {
+                let _inner = rec.span("inner", vec![]);
+            }
+            {
+                let _inner = rec.span("inner", vec![]);
+            }
+            // Root still open: nothing has merged yet.
+            assert!(rec.profile_snapshot().is_empty());
+        }
+        let profile = rec.profile_snapshot();
+        let (name, outer) = profile.roots().next().expect("root recorded");
+        assert_eq!(name, "outer");
+        assert_eq!(outer.count(), 1);
+        let (child_name, inner) = outer.children().next().expect("child recorded");
+        assert_eq!(child_name, "inner");
+        assert_eq!(inner.count(), 2);
+        assert!(outer.total_ns() >= inner.total_ns());
+        assert_eq!(outer.self_ns(), outer.total_ns() - inner.total_ns());
+    }
+
+    #[test]
+    fn profile_matches_event_replay() {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        for _ in 0..3 {
+            let _job = rec.span("job", vec![]);
+            let _train = rec.span("train", vec![]);
+        }
+        let live = rec.profile_snapshot();
+        let replayed = crate::profile::Profile::from_events(&rec.drain_events());
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn off_mode_spans_do_not_profile() {
+        let rec = Recorder::in_memory(ObsMode::Off);
+        {
+            let _s = rec.span("quiet", vec![]);
+        }
+        assert!(rec.profile_snapshot().is_empty());
+    }
+
+    #[test]
+    fn nested_foreign_recorder_spans_stay_unprofiled() {
+        let rec_a = Recorder::in_memory(ObsMode::Full);
+        let rec_b = Recorder::in_memory(ObsMode::Full);
+        {
+            let _a = rec_a.span("a_root", vec![]);
+            {
+                // B's span opens inside A's tree on this thread; it must
+                // not corrupt A's stack nor create a bogus B tree.
+                let _b = rec_b.span("b_span", vec![]);
+            }
+            {
+                let _a2 = rec_a.span("a_child", vec![]);
+            }
+        }
+        assert!(rec_b.profile_snapshot().is_empty());
+        let profile = rec_a.profile_snapshot();
+        let (name, root) = profile.roots().next().unwrap();
+        assert_eq!(name, "a_root");
+        assert_eq!(root.children().next().unwrap().0, "a_child");
+    }
+
+    #[test]
+    fn drain_kernel_counters_attributes_to_backend_and_phase() {
+        use ema_tensor::{KernelBackend, Tensor};
+        let rec = Recorder::in_memory(ObsMode::Summary);
+        // The drain takes whatever this thread accumulated; clear first
+        // so other tests' kernel work cannot leak in.
+        let _ = ema_tensor::take_kernel_counters();
+        ema_tensor::set_kernel_counting(true);
+        let _scope = KernelBackend::Scalar.scoped();
+        let a = Tensor::filled(&[2, 3], 1.0);
+        let b = Tensor::filled(&[3, 4], 1.0);
+        let _ = a.matmul(&b);
+        rec.drain_kernel_counters();
+        let snap = rec.metrics_snapshot();
+        let counters = snap.require("counters").unwrap();
+        assert_eq!(
+            counters.require("kernel.run.scalar.calls").unwrap().to_usize().unwrap(),
+            1
+        );
+        assert_eq!(
+            counters.require("kernel.run.scalar.flops").unwrap().to_usize().unwrap(),
+            2 * 2 * 3 * 4
+        );
+        // Take-semantics: a second drain adds nothing.
+        rec.drain_kernel_counters();
+        let snap2 = rec.metrics_snapshot();
+        assert_eq!(snap, snap2);
     }
 
     #[test]

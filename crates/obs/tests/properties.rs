@@ -1,8 +1,9 @@
-//! Property tests for the obs layer: histogram bucket invariants and
-//! span-nesting balance, driven by `ema_check`.
+//! Property tests for the obs layer: histogram bucket/quantile
+//! invariants, span-nesting balance and span-profile invariants,
+//! driven by `ema_check`.
 
 use ema_check::{gen, prop_assert, prop_assert_eq, prop_tests};
-use ema_obs::{Histogram, Json, ObsMode, Recorder};
+use ema_obs::{Histogram, Json, ObsMode, Profile, Recorder};
 use ema_tensor::Rng64;
 
 /// Strictly increasing finite bucket bounds (1–8 of them).
@@ -33,6 +34,12 @@ fn program_gen(rng: &mut Rng64) -> Vec<bool> {
 /// returns the emitted events.
 fn run_program(program: &[bool]) -> Vec<Json> {
     let rec = Recorder::in_memory(ObsMode::Full);
+    drive_program(&rec, program);
+    rec.drain_events()
+}
+
+/// Plays one nesting program's spans on `rec` from the current thread.
+fn drive_program(rec: &Recorder, program: &[bool]) {
     let mut stack = Vec::new();
     for (i, &open) in program.iter().enumerate() {
         if open || stack.is_empty() {
@@ -45,7 +52,11 @@ fn run_program(program: &[bool]) -> Vec<Json> {
     while let Some(guard) = stack.pop() {
         drop(guard);
     }
-    rec.drain_events()
+}
+
+/// 2–4 independent nesting programs, one per simulated worker.
+fn jobs_gen(rng: &mut Rng64) -> Vec<Vec<bool>> {
+    (0..gen::usize_in(rng, 2, 4)).map(|_| program_gen(rng)).collect()
 }
 
 prop_tests! {
@@ -81,6 +92,81 @@ prop_tests! {
         } else {
             prop_assert!(obs.is_empty());
         }
+    }
+
+    fn quantile_is_monotone_and_bracketed(bounds in bounds_gen, obs in observations_gen) {
+        let mut h = Histogram::new(&bounds);
+        for &v in &obs {
+            h.observe(v);
+        }
+        if obs.is_empty() {
+            prop_assert_eq!(h.quantile(0.5), None);
+        } else {
+            // The documented bracket: estimates never leave
+            // [min(first bound, observed min), max(last bound, observed max)].
+            let lo = obs.iter().copied().fold(bounds[0], f64::min);
+            let hi = obs.iter().copied().fold(*bounds.last().unwrap(), f64::max);
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let p = i as f64 / 20.0;
+                let q = h.quantile(p).unwrap();
+                prop_assert!(q.is_finite(), "quantile({p}) not finite: {q}");
+                prop_assert!(q >= prev, "quantile not monotone: q({p}) = {q} < {prev}");
+                prop_assert!(q >= lo && q <= hi, "q({p}) = {q} outside [{lo}, {hi}]");
+                prev = q;
+            }
+        }
+    }
+
+    @cases(64)
+    fn profile_tree_invariants_hold_and_replay_matches(program in program_gen) {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        drive_program(&rec, program.as_slice());
+        let live = rec.profile_snapshot();
+        // Live thread-local aggregation must agree exactly with an
+        // offline replay of the very events those spans emitted.
+        let replayed = Profile::from_events(&rec.drain_events());
+        prop_assert_eq!(live.clone(), replayed);
+        for (path, node) in live.flatten() {
+            prop_assert!(node.count() > 0, "{path}: empty node materialised");
+            prop_assert!(
+                node.children_total_ns() <= node.total_ns(),
+                "{path}: children total {} exceeds node total {}",
+                node.children_total_ns(),
+                node.total_ns()
+            );
+            prop_assert_eq!(
+                node.self_ns(),
+                node.total_ns() - node.children_total_ns(),
+                "{path}: self time is not total minus children"
+            );
+            prop_assert!(node.min_ns() <= node.max_ns());
+            prop_assert!(node.total_ns() >= node.max_ns());
+        }
+    }
+
+    @cases(32)
+    fn parallel_worker_profiles_equal_sequential_replay(programs in jobs_gen) {
+        let rec = Recorder::in_memory(ObsMode::Full);
+        std::thread::scope(|scope| {
+            for (w, program) in programs.iter().enumerate() {
+                let rec = &rec;
+                scope.spawn(move || {
+                    let _ws = rec.worker_scope(w);
+                    let _job = rec.span("job", vec![("w", Json::from(w))]);
+                    drive_program(rec, program.as_slice());
+                });
+            }
+        });
+        let live = rec.profile_snapshot();
+        // Concurrent per-thread aggregation merges to exactly what a
+        // sequential replay of the recorded events produces.
+        let replayed = Profile::from_events(&rec.drain_events());
+        prop_assert_eq!(live.clone(), replayed);
+        // Every worker's tree hangs under one "job" root, once each.
+        let job = live.roots().find(|(name, _)| *name == "job");
+        prop_assert!(job.is_some(), "job root missing");
+        prop_assert_eq!(job.unwrap().1.count(), programs.len() as u64);
     }
 
     @cases(64)

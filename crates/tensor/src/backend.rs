@@ -33,7 +33,7 @@
 //! every thread count.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 /// Which matmul accumulation kernel the tensor crate runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -183,6 +183,112 @@ impl Drop for KernelScope {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Kernel work accounting
+// ---------------------------------------------------------------------------
+
+/// Cumulative work counters for one kernel backend on one thread:
+/// matmul-family calls through the `matmul_accumulate` funnel, their
+/// nominal FLOPs (`2·m·k·n` per call: one multiply + one add per
+/// accumulation) and nominal memory traffic (`8·(m·k + k·n + 2·m·n)`
+/// bytes per call: read both operands, read+write the output). The
+/// figures are *work* counts, not measurements — cache reuse makes real
+/// traffic lower — which is exactly what an achieved-GFLOP/s report
+/// needs as numerator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Calls into the `matmul_accumulate` funnel.
+    pub calls: u64,
+    /// Nominal floating-point operations (`2·m·k·n` per call).
+    pub flops: u64,
+    /// Nominal bytes moved (`8·(m·k + k·n + 2·m·n)` per call).
+    pub bytes: u64,
+}
+
+impl KernelCounters {
+    fn add_matmul(&mut self, m: usize, k: usize, n: usize) {
+        self.calls += 1;
+        self.flops += 2 * (m as u64) * (k as u64) * (n as u64);
+        self.bytes += 8 * ((m * k) as u64 + (k * n) as u64 + 2 * (m * n) as u64);
+    }
+}
+
+/// One thread's kernel counters, split by backend. Taken (and reset)
+/// via [`take_kernel_counters`] at drain points — the executor after
+/// each job, the training loop at run end — which makes multiple drain
+/// sites compose without double counting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCountersSnapshot {
+    /// Work executed by the scalar oracle kernel.
+    pub scalar: KernelCounters,
+    /// Work executed by the AVX2+FMA kernel.
+    pub simd: KernelCounters,
+}
+
+impl KernelCountersSnapshot {
+    /// True when no kernel work was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scalar.calls == 0 && self.simd.calls == 0
+    }
+}
+
+/// Process-wide switch for kernel accounting. The obs layer keeps it in
+/// sync with the `EMA_OBS` mode: `off` ⇒ counting disabled, so the only
+/// cost the hot path ever pays with telemetry off is one relaxed atomic
+/// load per funnel call. Counting never touches kernel numerics.
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static KERNEL_COUNTERS: Cell<KernelCountersSnapshot> =
+        const { Cell::new(KernelCountersSnapshot { scalar: KernelCounters { calls: 0, flops: 0, bytes: 0 }, simd: KernelCounters { calls: 0, flops: 0, bytes: 0 } }) };
+}
+
+/// Enables or disables kernel work accounting process-wide. Called by
+/// the obs layer whenever the obs mode changes; library code should not
+/// need to touch it directly (tests pinning specific expectations do).
+pub fn set_kernel_counting(enabled: bool) {
+    COUNTING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether kernel work accounting is currently enabled (one relaxed
+/// atomic load — safe on hot paths).
+#[inline]
+#[must_use]
+pub fn kernel_counting_enabled() -> bool {
+    COUNTING.load(Ordering::Relaxed)
+}
+
+/// Records one funnel call on the current thread (no-op unless counting
+/// is enabled; see [`set_kernel_counting`]).
+#[inline]
+pub(crate) fn record_matmul(backend: KernelBackend, m: usize, k: usize, n: usize) {
+    if !kernel_counting_enabled() {
+        return;
+    }
+    KERNEL_COUNTERS.with(|c| {
+        let mut snap = c.get();
+        match backend {
+            KernelBackend::Scalar => snap.scalar.add_matmul(m, k, n),
+            KernelBackend::Simd => snap.simd.add_matmul(m, k, n),
+        }
+        c.set(snap);
+    });
+}
+
+/// Takes the current thread's kernel counters, resetting them to zero —
+/// so successive drains each see only the work since the previous one.
+#[must_use]
+pub fn take_kernel_counters() -> KernelCountersSnapshot {
+    KERNEL_COUNTERS.with(|c| c.replace(KernelCountersSnapshot::default()))
+}
+
+/// Reads the current thread's kernel counters without resetting them.
+#[must_use]
+pub fn kernel_counters() -> KernelCountersSnapshot {
+    KERNEL_COUNTERS.with(Cell::get)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +337,33 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(KernelBackend::Scalar.label(), "scalar");
         assert_eq!(KernelBackend::Simd.label(), "simd");
+    }
+
+    #[test]
+    fn kernel_counters_accumulate_only_while_enabled() {
+        // This test owns the process-wide COUNTING flag within the
+        // ema-tensor test binary (no other test here flips it), and the
+        // counters themselves are thread-local to this test's thread.
+        let _scope = KernelBackend::Scalar.scoped();
+        let _ = take_kernel_counters();
+
+        // Disabled (the default): the funnel records nothing.
+        set_kernel_counting(false);
+        crate::linalg::matmul_accumulate(&[1.0; 6], &[1.0; 12], &mut [0.0; 8], 2, 3, 4);
+        assert!(take_kernel_counters().is_empty());
+
+        // Enabled: one call, 2·m·k·n flops, 8·(mk + kn + 2mn) bytes,
+        // attributed to the active (scalar) backend.
+        set_kernel_counting(true);
+        crate::linalg::matmul_accumulate(&[1.0; 6], &[1.0; 12], &mut [0.0; 8], 2, 3, 4);
+        let snap = take_kernel_counters();
+        set_kernel_counting(false);
+        assert_eq!(snap.simd, KernelCounters::default());
+        assert_eq!(snap.scalar.calls, 1);
+        assert_eq!(snap.scalar.flops, 2 * 2 * 3 * 4);
+        assert_eq!(snap.scalar.bytes, 8 * (6 + 12 + 2 * 8));
+        // The take reset the thread-local counters.
+        assert!(kernel_counters().is_empty());
     }
 
     #[test]

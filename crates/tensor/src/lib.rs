@@ -47,7 +47,11 @@ mod slicing;
 mod solve;
 mod tensor;
 
-pub use backend::{set_kernel_backend, with_kernel_backend, KernelBackend, KernelScope};
+pub use backend::{
+    kernel_counters, kernel_counting_enabled, set_kernel_backend, set_kernel_counting,
+    take_kernel_counters, with_kernel_backend, KernelBackend, KernelCounters,
+    KernelCountersSnapshot, KernelScope,
+};
 pub use error::TensorError;
 pub use pool::{PoolStats, PooledBuf};
 pub use random::{derive_stream_seed, Rng64};

@@ -115,8 +115,13 @@ fn accum_row_span(a_row: &[f64], b: &[f64], out_row: &mut [f64], n: usize, jb: u
 /// the scalar ikj oracle below or the AVX2+FMA twin in `simd.rs` (see
 /// the two-contract story in this file's header).
 pub(crate) fn matmul_accumulate(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    let backend = KernelBackend::active();
+    // Work accounting for the obs layer: a relaxed-flag check plus a
+    // thread-local add, keyed by the backend that will actually run.
+    // Never touches the operands, so it cannot perturb numerics.
+    crate::backend::record_matmul(backend, m, k, n);
     #[cfg(target_arch = "x86_64")]
-    if KernelBackend::active() == KernelBackend::Simd {
+    if backend == KernelBackend::Simd {
         // SAFETY: `active()` returns `Simd` only when AVX2+FMA were
         // detected on the running CPU (`KernelBackend::simd_available`).
         unsafe { crate::simd::matmul_accumulate_simd(a, b, out, m, k, n) };

@@ -38,27 +38,34 @@ fn main() {
     assert!(recorder().begin_run(RUN, config), "full mode must start a run");
 
     // One small synthetic individual, trained with early stopping on.
-    recorder().phase("train");
-    let dataset = EmaGenerator::new(GeneratorConfig::quick(1, 8, 42)).generate();
-    let individual = &dataset.individuals[0];
-    let spec = RunSpec {
-        model_config: ModelConfig {
-            hidden: 12,
-            ..ModelConfig::default()
-        },
-        train_config: TrainConfig::quick(EPOCHS, 7),
-        ..RunSpec::new(
-            ModelKind::Mtgnn,
-            GraphSpec::Static {
-                metric: GraphMetric::Correlation,
-                gdt: DensityThreshold::Gdt20,
+    // The whole workload lives under one root `main` span so the run's
+    // span profile covers (nearly) all of its wall time — `obs_report`
+    // prints the coverage and the CI smoke checks the profile exists.
+    let (individual_id, outcome) = {
+        let _main = ema_obs::span!("main", example = RUN);
+        recorder().phase("train");
+        let dataset = EmaGenerator::new(GeneratorConfig::quick(1, 8, 42)).generate();
+        let individual = &dataset.individuals[0];
+        let spec = RunSpec {
+            model_config: ModelConfig {
+                hidden: 12,
+                ..ModelConfig::default()
             },
-            5,
-        )
+            train_config: TrainConfig::quick(EPOCHS, 7),
+            ..RunSpec::new(
+                ModelKind::Mtgnn,
+                GraphSpec::Static {
+                    metric: GraphMetric::Correlation,
+                    gdt: DensityThreshold::Gdt20,
+                },
+                5,
+            )
+        };
+        let outcome = run_individual(individual.id, &individual.data, &spec);
+        recorder().phase("report");
+        recorder().annotate("test_mse", Json::from(outcome.mse));
+        (individual.id, outcome)
     };
-    let outcome = run_individual(individual.id, &individual.data, &spec);
-    recorder().phase("report");
-    recorder().annotate("test_mse", Json::from(outcome.mse));
 
     let summary = recorder().finish_run().expect("run summary written");
 
@@ -90,7 +97,7 @@ fn main() {
     assert_eq!(epochs.len(), outcome.epochs_run, "one event per epoch run");
 
     // ASCII loss curve straight from the telemetry.
-    println!("individual {} loss curve ({} epochs):\n", individual.id, epochs.len());
+    println!("individual {individual_id} loss curve ({} epochs):\n", epochs.len());
     let max_loss = epochs.iter().map(|e| e.1).fold(f64::MIN, f64::max);
     for &(epoch, loss, grad_norm) in &epochs {
         let width = ((loss / max_loss) * 50.0).round().max(1.0) as usize;
@@ -103,4 +110,5 @@ fn main() {
     println!("test MSE: {:.3}", outcome.mse);
     println!("\n{} events in {}", text.lines().count(), log.display());
     println!("run summary at {}", summary.display());
+    println!("profile it:     cargo run -p ema-bench --bin obs_report -- {RUN}");
 }

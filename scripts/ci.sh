@@ -58,6 +58,13 @@ echo "==> obs smoke (EMA_OBS=full)"
 EMA_OBS=full cargo run --offline -q -p ema-core --example obs_loss_curve > /dev/null
 test -s results/obs/obs_loss_curve.jsonl
 test -s results/obs/obs_loss_curve.summary.json
+test -s results/obs/obs_loss_curve.folded
+
+echo "==> obs_report smoke"
+# Renders the run's span profile / kernel table / utilization report;
+# exits nonzero when the manifest carries no span profile, so a
+# silently-dead profiler fails CI here.
+cargo run --offline -q -p ema-bench --bin obs_report -- obs_loss_curve > /dev/null
 
 if [ "$WITH_BENCH" = 1 ]; then
   echo "==> cargo bench"

@@ -220,6 +220,46 @@ fn obs_modes_never_perturb_results_and_off_writes_nothing() {
     }
     assert!(train_epochs > 0, "full-mode log must record train_epoch events");
     assert!(summary.exists(), "run summary JSON must exist");
+
+    // The new profiling layer fills every section of the manifest: an
+    // aggregated span profile, kernel FLOP/byte counters from the
+    // matmul funnel, and executor utilization counters.
+    let summary_json = Json::parse(&std::fs::read_to_string(&summary).unwrap()).unwrap();
+    let profile = summary_json.require("profile").expect("summary carries a profile section");
+    assert!(
+        matches!(profile, Json::Arr(roots) if !roots.is_empty()),
+        "full-mode profile must aggregate at least one span tree"
+    );
+    let counters = summary_json
+        .require("metrics")
+        .and_then(|m| m.require("counters"))
+        .expect("summary carries metrics counters");
+    let counter_keys: Vec<&str> = match counters {
+        Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("counters must be an object, got {}", other.compact()),
+    };
+    assert!(
+        counter_keys.iter().any(|k| k.starts_with("kernel.") && k.ends_with(".calls")),
+        "training under full obs must record kernel call counters, got {counter_keys:?}"
+    );
+    assert!(
+        counter_keys.iter().any(|k| k.starts_with("kernel.") && k.ends_with(".flops")),
+        "training under full obs must record kernel FLOP counters, got {counter_keys:?}"
+    );
+    assert!(
+        counter_keys.iter().any(|k| k.starts_with("exec.worker_jobs.")),
+        "cohort runs must publish per-worker job counters, got {counter_keys:?}"
+    );
+    // The folded-stacks twin of the profile is flamegraph food: every
+    // line is `root;child;... self_ns`.
+    let folded = std::fs::read_to_string(scratch.join("det_full.folded"))
+        .expect("non-empty profiles write a .folded file");
+    assert!(!folded.trim().is_empty());
+    for line in folded.lines() {
+        let (path, self_ns) = line.rsplit_once(' ').expect("folded line has `path ns`");
+        assert!(!path.is_empty());
+        self_ns.parse::<u64>().expect("folded self time is integral ns");
+    }
 }
 
 /// Warm-pool invariance: running the same cohort twice in one process
