@@ -43,6 +43,20 @@ pub(crate) struct PendingUse {
     /// intermediate node in the reference graph) instead of adding
     /// each piece directly.
     pub grouped: bool,
+    /// Rows per window block of the `g_node` gradient. Window `w`'s
+    /// block is `g[(g_off + w·g_rows) .. (g_off + (w+1)·g_rows), :]`.
+    /// Uniform batched ops use `g.dims()[0] / wins` with offset 0;
+    /// grouped-operand ops (one parameter group inside a cohort stack)
+    /// use their own block geometry with `g_off` pointing at the
+    /// group's first row.
+    pub g_rows: usize,
+    /// Starting row of window 0's `g` block.
+    pub g_off: usize,
+    /// Rows per window block of the `x_node` value (ignored by
+    /// [`PendingKind::ColSums`]).
+    pub x_rows: usize,
+    /// Starting row of window 0's `x` block.
+    pub x_off: usize,
 }
 
 /// Gradients for every node of a tape, indexed by [`Var`].

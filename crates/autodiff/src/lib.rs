@@ -35,6 +35,7 @@ mod grads;
 mod op;
 mod tape;
 mod tape_ops_batched;
+mod tape_ops_group;
 mod tape_ops_linalg;
 mod tape_ops_nn;
 mod tape_ops_shape;

@@ -110,6 +110,15 @@ pub enum Op {
     /// `[W·T, n·h]`: output block `w`, row `t` is the flattening of
     /// state `t`'s block `w`. Fields: states, window count.
     StackWindowBlocks(Vec<Var>, usize),
+    /// Per-group fused linear layer over a cohort row stack: group `b`
+    /// of `x: [Σ rows, k]` (its `rows[b]` contiguous rows) times its
+    /// own `w_b: [out, k]ᵀ` plus `bias_b: [out]`, giving `[Σ rows,
+    /// out]`. Forward is one `addmm` per group on the row block;
+    /// backward keeps the stacked `dx` dense and defers each group's
+    /// (w, bias) gradients as per-row pieces replayed in the
+    /// per-individual graph's accumulation order. Fields: x, per-group
+    /// `(w, bias)` pairs, per-group row counts.
+    GroupLinear(Var, Vec<(Var, Var)>, Vec<usize>),
 }
 
 impl Op {
@@ -156,6 +165,14 @@ impl Op {
             | Op::Dropout(a, _) => vec![*a],
             Op::StackRows(vars) => vars.clone(),
             Op::StackWindowBlocks(vars, _) => vars.clone(),
+            Op::GroupLinear(x, params, _) => {
+                let mut out = vec![*x];
+                for &(w, b) in params {
+                    out.push(w);
+                    out.push(b);
+                }
+                out
+            }
         }
     }
 

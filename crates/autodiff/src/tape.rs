@@ -405,15 +405,17 @@ fn add_piece(slot: &mut Option<Tensor>, piece: &[f64], dims: &[usize]) {
 /// use, on window `w`'s contiguous row blocks.
 fn compute_piece(nodes: &[Node], u: &PendingUse, w: usize, g: &Tensor, out: &mut [f64]) {
     let gd = g.data();
-    let (g_rows, g_cols) = (g.dims()[0] / u.wins, g.dims()[1]);
-    let g_w = &gd[w * g_rows * g_cols..(w + 1) * g_rows * g_cols];
+    let (g_rows, g_cols) = (u.g_rows, g.dims()[1]);
+    let g_start = (u.g_off + w * g_rows) * g_cols;
+    let g_w = &gd[g_start..g_start + g_rows * g_cols];
     match u.kind {
         PendingKind::ColSums => kernels::col_sums_into(g_w, out, g_rows, g_cols),
         kind => {
             let x = &nodes[u.x_node].value;
             let xd = x.data();
-            let (x_rows, x_cols) = (x.dims()[0] / u.wins, x.dims()[1]);
-            let x_w = &xd[w * x_rows * x_cols..(w + 1) * x_rows * x_cols];
+            let (x_rows, x_cols) = (u.x_rows, x.dims()[1]);
+            let x_start = (u.x_off + w * x_rows) * x_cols;
+            let x_w = &xd[x_start..x_start + x_rows * x_cols];
             match kind {
                 // rhs of Matmul: x_wᵀ [r,k]ᵀ · g_w [r,n] -> [k,n].
                 PendingKind::XtG => {
@@ -612,6 +614,10 @@ fn backward_one(
                     x_node: x.0,
                     wins,
                     grouped,
+                    g_rows: g.dims()[0] / wins,
+                    g_off: 0,
+                    x_rows: val(x).dims()[0] / wins,
+                    x_off: 0,
                 },
             ));
         }
@@ -625,11 +631,16 @@ fn backward_one(
                     x_node: x.0,
                     wins,
                     grouped: false,
+                    g_rows: g.dims()[0] / wins,
+                    g_off: 0,
+                    x_rows: val(x).dims()[0] / wins,
+                    x_off: 0,
                 },
             ));
         }
         Op::BatchedAddmm(x, w, bias, wins) => {
             contribs.push((x, g.matmul(val(w))));
+            let g_rows = g.dims()[0] / wins;
             deferred.push((
                 w,
                 PendingUse {
@@ -638,6 +649,10 @@ fn backward_one(
                     x_node: x.0,
                     wins,
                     grouped: false,
+                    g_rows,
+                    g_off: 0,
+                    x_rows: val(x).dims()[0] / wins,
+                    x_off: 0,
                 },
             ));
             deferred.push((
@@ -648,11 +663,16 @@ fn backward_one(
                     x_node: i,
                     wins,
                     grouped: false,
+                    g_rows,
+                    g_off: 0,
+                    x_rows: g_rows,
+                    x_off: 0,
                 },
             ));
         }
         Op::BatchedAddRow(m, r, wins) => {
             contribs.push((m, g.clone()));
+            let g_rows = g.dims()[0] / wins;
             deferred.push((
                 r,
                 PendingUse {
@@ -661,6 +681,10 @@ fn backward_one(
                     x_node: i,
                     wins,
                     grouped: false,
+                    g_rows,
+                    g_off: 0,
+                    x_rows: g_rows,
+                    x_off: 0,
                 },
             ));
         }
@@ -691,6 +715,10 @@ fn backward_one(
                     x_node: x.0,
                     wins,
                     grouped: false,
+                    g_rows: p,
+                    g_off: 0,
+                    x_rows: q,
+                    x_off: 0,
                 },
             ));
         }
@@ -751,6 +779,61 @@ fn backward_one(
                 }
                 contribs.push((s, Tensor::from_vec(sv.dims(), d).expect("state grad shape")));
             }
+        }
+        Op::GroupLinear(x, ref params, ref rows) => {
+            // Per group b: dx_b = g_b · w_b (dense in the stack, one
+            // kernel call per group with the same (m, k, n) as the
+            // per-individual `Op::BatchedAddmm` dx, so the blocked-path
+            // decision — and every bit — matches the oracle), while
+            // w_b and bias_b gradients are deferred as single-row
+            // pieces anchored at the group's row offset and replayed
+            // in the per-individual graph's accumulation order.
+            let xv = val(x);
+            let k = xv.dims()[1];
+            let out_cols = out_value.dims()[1];
+            let mut dx = pool::take_uninit(xv.len());
+            let mut off = 0usize;
+            for (&(w, bias), &r) in params.iter().zip(rows) {
+                let g_b = &g.data()[off * out_cols..(off + r) * out_cols];
+                kernels::matmul_into(
+                    g_b,
+                    val(w).data(),
+                    &mut dx[off * k..(off + r) * k],
+                    r,
+                    out_cols,
+                    k,
+                );
+                deferred.push((
+                    w,
+                    PendingUse {
+                        kind: PendingKind::GtX,
+                        g_node: i,
+                        x_node: x.0,
+                        wins: r,
+                        grouped: false,
+                        g_rows: 1,
+                        g_off: off,
+                        x_rows: 1,
+                        x_off: off,
+                    },
+                ));
+                deferred.push((
+                    bias,
+                    PendingUse {
+                        kind: PendingKind::ColSums,
+                        g_node: i,
+                        x_node: i,
+                        wins: r,
+                        grouped: false,
+                        g_rows: 1,
+                        g_off: off,
+                        x_rows: 1,
+                        x_off: off,
+                    },
+                ));
+                off += r;
+            }
+            contribs.push((x, Tensor::from_vec(xv.dims(), dx).expect("group dx shape")));
         }
     }
 }

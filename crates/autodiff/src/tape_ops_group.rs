@@ -1,0 +1,229 @@
+//! Grouped-operand tape operations for cohort-batched training.
+//!
+//! A cohort stack row-stacks B individuals' window batches into one
+//! operand (`[Σ_b rows_b, c]`, individual-major); each individual keeps
+//! its *own* parameters, so the shared-operand batched ops in
+//! `tape_ops_batched` do not apply. [`Tape::group_linear`] is the
+//! grouped-LHS variant: group `b`'s contiguous row block goes through
+//! its own `(w_b, bias_b)` pair.
+//!
+//! The bit-identity contract mirrors the batched ops: forward runs the
+//! exact per-individual `addmm` kernel on each row block (the kernel
+//! contract makes every output row independent of the batch height,
+//! and the per-group call even repeats the per-individual blocked-path
+//! decision, since the block's `(m, k, n)` matches); backward keeps
+//! the stacked `dx` dense and defers each group's weight/bias
+//! gradients as single-row pieces anchored at the group's row offset,
+//! replayed in the per-individual graph's accumulation order by the
+//! pending machinery in `Grads`/`Tape::backward_into`.
+
+use crate::{Op, Tape, Var};
+use ema_tensor::{kernels, pool, Tensor};
+
+impl Tape {
+    /// Per-group fused linear layer over a cohort row stack: group `b`
+    /// (rows `[off_b, off_b + rows[b])` of `x: [Σ rows, k]`) times its
+    /// own `w_b: [out, k]ᵀ` plus `bias_b: [out]`, producing
+    /// `[Σ rows, out]`. All groups must share the in/out widths.
+    ///
+    /// # Panics
+    /// Panics when `params` and `group_rows` disagree in length, are
+    /// empty, the row counts don't sum to `x`'s rows, a group has zero
+    /// rows, or any group's parameter shapes mismatch.
+    pub fn group_linear(&self, x: Var, params: &[(Var, Var)], group_rows: &[usize]) -> Var {
+        assert_eq!(
+            params.len(),
+            group_rows.len(),
+            "group_linear: {} param pairs vs {} row counts",
+            params.len(),
+            group_rows.len()
+        );
+        assert!(!params.is_empty(), "group_linear needs at least one group");
+        let mut vars = Vec::with_capacity(1 + 2 * params.len());
+        vars.push(x);
+        for &(w, b) in params {
+            vars.push(w);
+            vars.push(b);
+        }
+        let out = self.compute(
+            |v| {
+                let xv = v[0];
+                let (total, k) = (xv.dims()[0], xv.dims()[1]);
+                assert_eq!(
+                    group_rows.iter().sum::<usize>(),
+                    total,
+                    "group_linear: group rows must sum to the stacked row count {total}"
+                );
+                let out_cols = v[1].dims()[0];
+                let mut out = pool::take_uninit(total * out_cols);
+                let mut off = 0usize;
+                for (b, &r) in group_rows.iter().enumerate() {
+                    assert!(r > 0, "group_linear: group {b} has zero rows");
+                    let (wv, bv) = (v[1 + 2 * b], v[2 + 2 * b]);
+                    assert_eq!(
+                        wv.dims(),
+                        &[out_cols, k],
+                        "group_linear: group {b} weight shape mismatch"
+                    );
+                    assert_eq!(
+                        bv.len(),
+                        out_cols,
+                        "group_linear: group {b} bias length mismatch"
+                    );
+                    kernels::addmm_into(
+                        &xv.data()[off * k..(off + r) * k],
+                        wv.data(),
+                        bv.data(),
+                        &mut out[off * out_cols..(off + r) * out_cols],
+                        r,
+                        k,
+                        out_cols,
+                    );
+                    off += r;
+                }
+                Tensor::from_vec(&[total, out_cols], out).expect("group_linear shape")
+            },
+            &vars,
+        );
+        self.push(out, Op::GroupLinear(x, params.to_vec(), group_rows.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ema_tensor::Rng64;
+
+    fn rand(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng64::seed_from(seed);
+        Tensor::rand_normal(dims, 0.0, 1.0, &mut rng)
+    }
+
+    /// The cohort stack through `group_linear` must match B separate
+    /// per-individual `batched_linear` graphs bit for bit — values and
+    /// every parameter gradient, including the deferred replay order
+    /// through a chain of two grouped layers (as in an unrolled RNN).
+    #[test]
+    fn group_linear_matches_per_individual_graphs() {
+        let rows = [3usize, 1, 4];
+        let (k, o) = (5, 2);
+        let total: usize = rows.iter().sum();
+        let xv = rand(&[total, k], 1);
+        let ws: Vec<Tensor> = (0..rows.len()).map(|b| rand(&[o, k], 10 + b as u64)).collect();
+        let bs: Vec<Tensor> = (0..rows.len()).map(|b| rand(&[o], 20 + b as u64)).collect();
+        let w2s: Vec<Tensor> = (0..rows.len()).map(|b| rand(&[o, o], 30 + b as u64)).collect();
+        let b2s: Vec<Tensor> = (0..rows.len()).map(|b| rand(&[o], 40 + b as u64)).collect();
+
+        // Cohort graph: one stack, two grouped layers, one scalar loss
+        // summing per-group mse-style terms.
+        let tape = Tape::new();
+        let x = tape.leaf(xv.clone());
+        let params: Vec<(Var, Var)> = ws
+            .iter()
+            .zip(&bs)
+            .map(|(w, b)| (tape.leaf(w.clone()), tape.leaf(b.clone())))
+            .collect();
+        let params2: Vec<(Var, Var)> = w2s
+            .iter()
+            .zip(&b2s)
+            .map(|(w, b)| (tape.leaf(w.clone()), tape.leaf(b.clone())))
+            .collect();
+        let h = tape.group_linear(x, &params, &rows);
+        let y = tape.group_linear(h, &params2, &rows);
+        // Per-group scalar losses added pairwise, so each group's loss
+        // node receives exactly the seed gradient 1.0 (Add backward
+        // clones g), matching the standalone graphs.
+        let mut off = 0;
+        let mut total_loss = None;
+        let mut group_losses = Vec::new();
+        for &r in &rows {
+            let y_b = tape.slice_rows(y, off, off + r);
+            let l_b = tape.mean_all(tape.square(y_b));
+            group_losses.push(l_b);
+            total_loss = Some(match total_loss {
+                None => l_b,
+                Some(acc) => tape.add(acc, l_b),
+            });
+            off += r;
+        }
+        let grads = tape.backward(total_loss.unwrap());
+
+        // Reference: one standalone per-individual graph per group,
+        // using the batched path PR 5 proved bit-identical per window.
+        let mut off = 0;
+        for (b, &r) in rows.iter().enumerate() {
+            let reference = Tape::new();
+            let rx = reference.leaf(xv.slice_rows(off, off + r));
+            let rw = reference.leaf(ws[b].clone());
+            let rb = reference.leaf(bs[b].clone());
+            let rw2 = reference.leaf(w2s[b].clone());
+            let rb2 = reference.leaf(b2s[b].clone());
+            let rh = reference.batched_linear(rx, rw, rb, r);
+            let ry = reference.batched_linear(rh, rw2, rb2, r);
+            let rloss = reference.mean_all(reference.square(ry));
+            let rgrads = reference.backward(rloss);
+
+            let (w, bias) = params[b];
+            let (w2, bias2) = params2[b];
+            assert_eq!(
+                &tape.value(y).data()[off * o..(off + r) * o],
+                reference.value(ry).data(),
+                "group {b} forward rows"
+            );
+            assert_eq!(
+                tape.value(group_losses[b]).data(),
+                reference.value(rloss).data(),
+                "group {b} loss"
+            );
+            assert_eq!(
+                grads.get(w).unwrap().data(),
+                rgrads.get(rw).unwrap().data(),
+                "group {b} weight grad"
+            );
+            assert_eq!(
+                grads.get(bias).unwrap().data(),
+                rgrads.get(rb).unwrap().data(),
+                "group {b} bias grad"
+            );
+            assert_eq!(
+                grads.get(w2).unwrap().data(),
+                rgrads.get(rw2).unwrap().data(),
+                "group {b} layer-2 weight grad"
+            );
+            assert_eq!(
+                grads.get(bias2).unwrap().data(),
+                rgrads.get(rb2).unwrap().data(),
+                "group {b} layer-2 bias grad"
+            );
+            let dx = grads.get(x).unwrap();
+            assert_eq!(
+                &dx.data()[off * k..(off + r) * k],
+                rgrads.get(rx).unwrap().data(),
+                "group {b} input grad rows"
+            );
+            off += r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group rows must sum")]
+    fn group_linear_rejects_bad_row_split() {
+        let tape = Tape::new();
+        let x = tape.leaf(rand(&[4, 3], 1));
+        let w = tape.leaf(rand(&[2, 3], 2));
+        let b = tape.leaf(rand(&[2], 3));
+        let _ = tape.group_linear(x, &[(w, b)], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight shape mismatch")]
+    fn group_linear_rejects_mismatched_group_widths() {
+        let tape = Tape::new();
+        let x = tape.leaf(rand(&[4, 3], 1));
+        let w0 = tape.leaf(rand(&[2, 3], 2));
+        let b0 = tape.leaf(rand(&[2], 3));
+        let w1 = tape.leaf(rand(&[5, 3], 4));
+        let b1 = tape.leaf(rand(&[5], 5));
+        let _ = tape.group_linear(x, &[(w0, b0), (w1, b1)], &[2, 2]);
+    }
+}

@@ -773,3 +773,44 @@ fn tape_reuse_multiple_backwards() {
     let g2 = tape.backward(loss);
     assert_eq!(g1.get(x).unwrap().data(), g2.get(x).unwrap().data());
 }
+
+#[test]
+fn grad_group_linear_all_parents() {
+    // A 3-group cohort stack with uneven row counts (3 + 1 + 2); check
+    // the stacked input and every group's weight and bias.
+    let rows = [3usize, 1, 2];
+    let x = rand(&[6, 3], 101);
+    let ws: Vec<Tensor> = (0..3).map(|b| rand(&[4, 3], 102 + b)).collect();
+    let bs: Vec<Tensor> = (0..3).map(|b| rand(&[4], 105 + b)).collect();
+    let build = |t: &Tape, xv, ws: &[Tensor], bs: &[Tensor], swap: Option<(usize, bool, ema_autodiff::Var)>| {
+        let params: Vec<(ema_autodiff::Var, ema_autodiff::Var)> = ws
+            .iter()
+            .zip(bs)
+            .enumerate()
+            .map(|(g, (w, b))| match swap {
+                Some((sg, is_bias, v)) if sg == g => {
+                    if is_bias {
+                        (t.leaf(w.clone()), v)
+                    } else {
+                        (v, t.leaf(b.clone()))
+                    }
+                }
+                _ => (t.leaf(w.clone()), t.leaf(b.clone())),
+            })
+            .collect();
+        let y = t.group_linear(xv, &params, &rows);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&x, TOL, |t, v| build(t, v, &ws, &bs, None));
+    for g in 0..3 {
+        assert_gradients_close(&ws[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &ws, &bs, Some((g, false, v)))
+        });
+        assert_gradients_close(&bs[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &ws, &bs, Some((g, true, v)))
+        });
+    }
+}

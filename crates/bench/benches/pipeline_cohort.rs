@@ -1,14 +1,16 @@
 //! Cohort throughput of the full per-individual pipeline (split →
-//! graph → train → evaluate) scheduled by the `ema_core::exec` engine
-//! at 1, 2 and all available workers. Each entry records
-//! individuals/sec as `throughput_per_sec` in
-//! `results/BENCH_pipeline.json`. Results JSON is byte-identical at
-//! every thread count; only the wall-clock figures here move.
+//! graph → train → evaluate) scheduled by the `ema_core::exec` engine,
+//! plus the streamed sharded cohort path at study scale. Each entry
+//! records individuals/sec as `throughput_per_sec` and its peak heap
+//! working set as `peak_bytes` in `results/BENCH_pipeline.json`.
+//! Results JSON is byte-identical at every thread count and shard
+//! size; only the wall-clock figures here move.
 
 use ema_bench::Harness;
 use ema_core::experiments::ExperimentScale;
-use ema_core::{run_cohort_with, Executor, GraphSpec};
-use ema_models::ModelKind;
+use ema_core::{run_cohort_sharded, run_cohort_with, CohortPath, Executor, GraphSpec, TrainConfig};
+use ema_data::{EmaGenerator, GeneratorConfig};
+use ema_models::{ModelConfig, ModelKind};
 use std::hint::black_box;
 
 fn main() {
@@ -35,6 +37,44 @@ fn main() {
         harness.bench_function(&format!("cohort_lstm_threads_{threads}"), |b| {
             b.items(dataset.individuals.len() as f64);
             b.iter(|| black_box(run_cohort_with(&dataset, &spec, &executor)));
+        });
+    }
+
+    // Streamed sharded cohort at study scale: 10k individuals are never
+    // materialized at once — each shard job generates, trains and drops
+    // its 64 individuals, so `peak_bytes` stays bounded by
+    // (workers × shard) while `throughput_per_sec` records
+    // individuals/sec. The batched entry (one tape graph per shard per
+    // epoch) is gated against the per-individual oracle entry (one tape
+    // graph per individual per epoch); both are bit-identical in
+    // results. Individuals are kept tiny (V=3, ~12 time points, 2
+    // epochs) so one full stream fits a bench sample.
+    const STREAM_N: usize = 10_000;
+    const SHARD: usize = 64;
+    let generator = EmaGenerator::new(GeneratorConfig {
+        num_individuals: STREAM_N,
+        num_variables: 3,
+        mean_time_points: 12,
+        seed: 2024,
+        ..GeneratorConfig::default()
+    });
+    let mut stream_spec = ExperimentScale::tiny().spec(ModelKind::Lstm, GraphSpec::None, 2);
+    stream_spec.model_config = ModelConfig::tiny(0);
+    stream_spec.train_config = TrainConfig::quick(4, 7);
+    let executor = Executor::with_threads(max);
+    for (name, path) in [
+        ("cohort_stream_10k_batched", CohortPath::Batched),
+        ("cohort_stream_10k_per_individual", CohortPath::PerIndividual),
+    ] {
+        let mut spec = stream_spec.clone();
+        spec.cohort_path = path;
+        harness.bench_function(name, |b| {
+            b.items(STREAM_N as f64);
+            // One full stream costs seconds; a handful of samples keeps
+            // the suite under the bench budget (baseline recorded with
+            // the same override).
+            b.samples(3);
+            b.iter(|| black_box(run_cohort_sharded(&generator, &spec, SHARD, &executor)));
         });
     }
 

@@ -2,8 +2,8 @@
 //!
 //! Compares freshly recorded bench suites against committed baselines,
 //! matching benchmarks by name and failing (exit code 1) when any
-//! median slows down — or any `allocs_per_iter` grows — by more than
-//! the tolerance.
+//! median slows down — or any `allocs_per_iter` or `peak_bytes`
+//! figure grows — by more than the tolerance.
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json> [<baseline2> <candidate2> ...] [--tolerance PCT]
@@ -57,6 +57,7 @@ struct Entry {
     name: String,
     median_ns: f64,
     allocs_per_iter: Option<f64>,
+    peak_bytes: Option<f64>,
 }
 
 fn entries(suite: &Json, path: &str) -> Vec<Entry> {
@@ -77,7 +78,8 @@ fn entries(suite: &Json, path: &str) -> Vec<Entry> {
                 .and_then(Json::as_f64)
                 .unwrap_or_else(|| panic!("{path}: '{name}' has no median_ns"));
             let allocs_per_iter = b.get("allocs_per_iter").and_then(Json::as_f64);
-            Entry { name, median_ns, allocs_per_iter }
+            let peak_bytes = b.get("peak_bytes").and_then(Json::as_f64);
+            Entry { name, median_ns, allocs_per_iter, peak_bytes }
         })
         .collect()
 }
@@ -160,6 +162,23 @@ fn gate_suite(baseline_path: &str, candidate_path: &str, tolerance: f64) -> u32 
                 );
             }
         }
+        // Peak-heap gate: like allocation counts, the steady-state
+        // high-water mark is near-deterministic and load-independent,
+        // so it is never normalized. Growth beyond the tolerance means
+        // a working-set regression (e.g. a shard holding more than one
+        // cohort batch alive at a time).
+        if let (Some(base_peak), Some(cand_peak)) = (base.peak_bytes, cand.peak_bytes) {
+            if base_peak > 0.0 && cand_peak > base_peak * (1.0 + tolerance) {
+                failures += 1;
+                eprintln!(
+                    "GATE FAIL {}: peak bytes {:.0} -> {:.0} (+{:.1}%)",
+                    base.name,
+                    base_peak,
+                    cand_peak,
+                    (cand_peak / base_peak - 1.0) * 100.0
+                );
+            }
+        }
     }
     for cand in &candidate {
         if !baseline.iter().any(|b| b.name == cand.name) {
@@ -202,7 +221,7 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!(
-            "bench gate: all medians (load-normalized) and allocation counts within {:.0}% of baseline",
+            "bench gate: all medians (load-normalized), allocation counts and peak bytes within {:.0}% of baseline",
             tolerance * 100.0
         );
         ExitCode::SUCCESS

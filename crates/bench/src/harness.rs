@@ -72,6 +72,10 @@ pub struct BenchResult {
     /// run after the timed samples (steady state, so pools and
     /// persistent workspaces are warm).
     pub allocs_per_iter: Option<f64>,
+    /// Peak heap bytes above the pre-iteration live footprint over the
+    /// same untimed steady-state iteration — the bench's peak working
+    /// set (a floor on true RSS; see `crate::alloc`).
+    pub peak_bytes: Option<f64>,
 }
 
 impl BenchResult {
@@ -100,6 +104,9 @@ impl BenchResult {
         if let Some(allocs) = self.allocs_per_iter {
             members.push(("allocs_per_iter", Json::Num(allocs)));
         }
+        if let Some(peak) = self.peak_bytes {
+            members.push(("peak_bytes", Json::Num(peak)));
+        }
         Json::obj(members)
     }
 }
@@ -111,6 +118,7 @@ pub struct Bencher {
     items_per_iter: Option<f64>,
     result: Option<(f64, f64, f64, u64)>,
     allocs_per_iter: Option<f64>,
+    peak_bytes: Option<f64>,
 }
 
 impl Bencher {
@@ -119,6 +127,16 @@ impl Bencher {
     /// a `throughput_per_sec` figure alongside the timing.
     pub fn items(&mut self, per_iter: f64) {
         self.items_per_iter = Some(per_iter);
+    }
+
+    /// Overrides the suite-wide sample count for this benchmark. Meant
+    /// for macro-benchmarks (whole-study cohort streams) where one
+    /// iteration costs seconds and the suite default would blow the
+    /// bench budget. The committed baseline is recorded with the same
+    /// override, so `bench_gate` comparisons stay
+    /// methodology-identical.
+    pub fn samples(&mut self, n: usize) {
+        self.config.samples = n.max(1);
     }
 
     /// Warm up, calibrate and sample `f`, recording the statistics.
@@ -154,10 +172,16 @@ impl Bencher {
         // One extra untimed iteration under the counting allocator: by
         // now the workload is in steady state (pools warm, workspaces
         // grown), so the delta is the per-iteration heap-alloc count
-        // the hot path actually pays.
+        // the hot path actually pays. Rebasing the allocator's peak to
+        // the current live footprint first makes the peak reading the
+        // iteration's own high-water mark above steady state.
         let allocs_before = crate::alloc::alloc_count();
+        let live_before = crate::alloc::live_bytes();
+        crate::alloc::reset_peak_bytes();
         std::hint::black_box(f());
         self.allocs_per_iter = Some((crate::alloc::alloc_count() - allocs_before) as f64);
+        self.peak_bytes =
+            Some(crate::alloc::peak_bytes().saturating_sub(live_before) as f64);
     }
 }
 
@@ -198,6 +222,7 @@ impl Harness {
             items_per_iter: None,
             result: None,
             allocs_per_iter: None,
+            peak_bytes: None,
         };
         {
             let _bench_span = ema_obs::span!("bench", suite = self.suite.as_str(), name = name);
@@ -214,15 +239,22 @@ impl Harness {
             ema_obs::recorder()
                 .set_gauge(&format!("bench_allocs_per_iter.{}.{name}", self.suite), allocs);
         }
+        if let Some(peak) = bencher.peak_bytes {
+            ema_obs::recorder()
+                .set_gauge(&format!("bench_peak_bytes.{}.{name}", self.suite), peak);
+        }
         let result = BenchResult {
             name: name.to_string(),
             median_ns,
             min_ns,
             mean_ns,
-            samples: self.config.samples,
+            // The bencher's own config: Bencher::samples may have
+            // overridden the suite-wide count.
+            samples: bencher.config.samples,
             iters_per_sample: iters,
             items_per_iter: bencher.items_per_iter,
             allocs_per_iter: bencher.allocs_per_iter,
+            peak_bytes: bencher.peak_bytes,
         };
         let throughput = result
             .throughput_per_sec()
@@ -230,7 +262,13 @@ impl Harness {
             .unwrap_or_default();
         let allocs = result
             .allocs_per_iter
-            .map(|a| format!("  [{a:.0} allocs/iter]"))
+            .map(|a| {
+                let peak = result
+                    .peak_bytes
+                    .map(|p| format!(", peak {}", format_bytes(p)))
+                    .unwrap_or_default();
+                format!("  [{a:.0} allocs/iter{peak}]")
+            })
             .unwrap_or_default();
         println!(
             "{:<40} median {:>12} /iter{}{}  (min {}, {} samples × {} iters)",
@@ -239,7 +277,7 @@ impl Harness {
             throughput,
             allocs,
             format_ns(min_ns),
-            self.config.samples,
+            result.samples,
             iters,
         );
         self.results.push(result);
@@ -271,6 +309,19 @@ impl Harness {
     }
 }
 
+/// Renders a byte figure with a readable unit.
+fn format_bytes(bytes: f64) -> String {
+    if bytes < 1024.0 {
+        format!("{bytes:.0} B")
+    } else if bytes < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes / 1024.0)
+    } else if bytes < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bytes / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bytes / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
 /// Renders a nanosecond figure with a readable unit.
 fn format_ns(ns: f64) -> String {
     if ns < 1e3 {
@@ -299,6 +350,7 @@ mod tests {
             items_per_iter: None,
             result: None,
             allocs_per_iter: None,
+            peak_bytes: None,
         };
         bencher.iter(|| std::hint::black_box(42u64.wrapping_mul(7)));
         let (median, min, mean, iters) = bencher.result.unwrap();
@@ -320,6 +372,7 @@ mod tests {
             items_per_iter: None,
             result: None,
             allocs_per_iter: None,
+            peak_bytes: None,
         };
         bencher.iter(|| std::hint::black_box(vec![0u8; 256]));
         assert!(bencher.allocs_per_iter.unwrap() >= 1.0);
@@ -336,6 +389,7 @@ mod tests {
             iters_per_sample: 1000,
             items_per_iter: None,
             allocs_per_iter: None,
+            peak_bytes: None,
         };
         let v = r.to_json_value();
         assert_eq!(v.require("name").unwrap().to_str().unwrap(), "matmul");
@@ -358,6 +412,7 @@ mod tests {
             iters_per_sample: 1,
             items_per_iter: Some(10.0),
             allocs_per_iter: Some(12.0),
+            peak_bytes: Some(4096.0),
         };
         assert_eq!(r.throughput_per_sec(), Some(5.0));
         let v = r.to_json_value();

@@ -297,6 +297,19 @@ fn render_workers(out: &mut String, s: &RunSummary) {
             pct
         );
     }
+    // Shard balance for sharded cohort runs: each shard is one job, so
+    // the per-worker `jobs` column above is the balance; this line adds
+    // the stream totals (how many shards, how many individuals, how
+    // full the average shard was).
+    if let (Some(&shards), Some(&individuals)) =
+        (s.counters.get("exec.shard_batches"), s.counters.get("exec.shard_individuals"))
+    {
+        let avg = if shards > 0 { individuals as f64 / shards as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  shards: {shards} batches, {individuals} individuals (avg {avg:.1}/shard)"
+        );
+    }
     if let Some(h) = s.histograms.get("exec.job_latency_ns") {
         if let (Some(p50), Some(p99)) = (h.quantile(0.50), h.quantile(0.99)) {
             let _ = writeln!(
@@ -505,6 +518,8 @@ mod tests {
                             ("exec.worker_busy_ns.0", Json::from(900_000_000u64)),
                             ("exec.worker_wait_ns.0", Json::from(100_000_000u64)),
                             ("exec.worker_jobs.0", Json::from(4u64)),
+                            ("exec.shard_batches", Json::from(4u64)),
+                            ("exec.shard_individuals", Json::from(10u64)),
                             ("pool_hits", Json::from(90u64)),
                             ("pool_misses", Json::from(10u64)),
                         ]),
@@ -554,6 +569,7 @@ mod tests {
         assert!(report.contains("90.0% hit rate"), "{report}");
         assert!(report.contains("1234 nodes"), "{report}");
         assert!(report.contains("90.0%"), "{report}");
+        assert!(report.contains("shards: 4 batches, 10 individuals (avg 2.5/shard)"), "{report}");
         assert!(report.contains("p50"), "{report}");
     }
 

@@ -1,0 +1,485 @@
+//! Cohort-batched training: one tape graph per shard of B individuals,
+//! scheduled as streaming shard jobs on the [`crate::exec`] engine.
+//!
+//! [`train_cohort`] is the grouped-operand analog of
+//! [`crate::train::train_model`]: every epoch, all B individuals'
+//! windows forward through **one** tape graph
+//! ([`CohortForecaster::predict_cohort`]), per-individual MSE losses are
+//! summed into one scalar, and one backward pass yields every
+//! individual's gradients — bit-identical to B separate `train_model`
+//! runs (each loss node receives exactly the seed gradient `1.0`
+//! through the pairwise add chain, and every grouped op matches the
+//! per-individual op per row block; enforced by
+//! `crates/models/tests/batched_equivalence.rs` and
+//! `tests/determinism.rs`).
+//!
+//! Per-individual state (Adam moments, RNG stream, early-stopping
+//! counters) stays per-individual: an individual that early-stops
+//! leaves the active group, the [`CohortBatch`] is rebuilt without it,
+//! and — per the cohort RNG contract — it stops consuming draws exactly
+//! as its standalone run would.
+//!
+//! [`run_cohort_sharded`] streams a synthetic study through the
+//! executor in shards of `shard_size` individuals: each shard job
+//! *generates* its slice of the study on the worker
+//! ([`EmaGenerator::generate_range`]), trains it as one cohort batch,
+//! evaluates, and drops the data — so peak memory is bounded by
+//! (workers × shard), not the study size. Results are byte-identical at
+//! every `(thread count, shard size)` pair and to the per-individual
+//! oracle ([`CohortPath::PerIndividual`]).
+
+use crate::evaluate::{evaluate_mse, evaluate_per_variable_mse};
+use crate::exec::{expect_all, Executor, Job};
+use crate::pipeline::{graph_for_individual, run_individual, GraphSpec, IndividualOutcome, RunSpec};
+use crate::train::{TrainConfig, TrainReport};
+use ema_autodiff::{Grads, Tape};
+use ema_data::{make_test_windows, make_windows, split_train_test, EmaGenerator, Individual, WindowedData};
+use ema_models::{
+    CohortBatch, CohortCtx, CohortForecaster, LstmForecaster, ModelKind, WindowBatch,
+};
+use ema_nn::{global_grad_norm, Adam, Binding, Optimizer, OptimizerConfig};
+use ema_obs::metrics::{EPOCH_BUCKETS, GRAD_NORM_BUCKETS, LOSS_BUCKETS};
+use ema_obs::{point, span};
+use ema_tensor::Rng64;
+
+/// Which training path a sharded cohort run takes. Both paths are
+/// bit-identical in results (enforced by `tests/determinism.rs`); they
+/// differ only in tape-graph shape and throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CohortPath {
+    /// One tape graph per shard of B individuals via
+    /// [`CohortForecaster::predict_cohort`] — the hot path and the
+    /// default for models that implement it (currently LSTM; other
+    /// models fall back to the per-individual path).
+    #[default]
+    Batched,
+    /// One [`run_individual`] call per individual — the reference
+    /// oracle, kept for equivalence testing and for models without a
+    /// cohort forward.
+    PerIndividual,
+}
+
+/// Trains `models[b]` on `windows[b]` under `configs[b]` for every `b`,
+/// building one tape graph per epoch for the whole group. Bit-identical
+/// to calling [`crate::train::train_model`] once per individual (with
+/// the batched forward path), but with O(depth) tape nodes per epoch
+/// for the whole cohort instead of per individual.
+///
+/// All configs must agree on the kernel backend (one thread-local pin
+/// covers the shared graph).
+///
+/// # Panics
+/// Panics on empty inputs, length mismatches, an empty window set,
+/// zero epochs, or disagreeing kernel backends.
+pub fn train_cohort<M: CohortForecaster>(
+    models: &mut [M],
+    windows: &[WindowedData],
+    configs: &[TrainConfig],
+) -> Vec<TrainReport> {
+    let n = models.len();
+    assert!(n > 0, "cannot train an empty cohort");
+    assert_eq!(n, windows.len(), "one window set per model");
+    assert_eq!(n, configs.len(), "one config per model");
+    for (b, (w, c)) in windows.iter().zip(configs).enumerate() {
+        assert!(!w.is_empty(), "individual {b}: cannot train on zero windows");
+        assert!(c.epochs > 0, "individual {b}: need at least one epoch");
+        assert_eq!(
+            c.kernel_backend, configs[0].kernel_backend,
+            "individual {b}: cohort configs must share the kernel backend"
+        );
+    }
+    let _kernel = configs[0].kernel_backend.scoped();
+    let _span = span!("train_cohort", individuals = n);
+    let obs = ema_obs::recorder();
+
+    // Per-individual state, indexed by cohort position `i`.
+    let batches: Vec<WindowBatch> =
+        windows.iter().map(|w| WindowBatch::from_windows(&w.inputs)).collect();
+    let mut adams: Vec<Adam> = configs
+        .iter()
+        .map(|c| {
+            Adam::new(OptimizerConfig {
+                learning_rate: c.learning_rate,
+                grad_clip: c.grad_clip,
+                ..OptimizerConfig::default()
+            })
+        })
+        .collect();
+    let mut rngs: Vec<Rng64> = configs.iter().map(|c| Rng64::seed_from(c.seed)).collect();
+    let mut losses: Vec<Vec<f64>> = configs.iter().map(|c| Vec::with_capacity(c.epochs)).collect();
+    let mut grad_norms: Vec<Vec<f64>> =
+        configs.iter().map(|c| Vec::with_capacity(c.epochs)).collect();
+    let mut best = vec![f64::INFINITY; n];
+    let mut since_best = vec![0usize; n];
+    let mut early_stopped = vec![false; n];
+    let mut reports: Vec<Option<TrainReport>> = (0..n).map(|_| None).collect();
+
+    // One tape and one gradient workspace for the whole run; every
+    // individual's target matrix is a persistent tape prefix.
+    let mut tape = Tape::new();
+    let mut grads = Grads::empty();
+    let tgts: Vec<_> = windows.iter().map(|w| tape.leaf(w.targets_matrix())).collect();
+    let keep = tape.len();
+
+    // The active group: cohort positions still training, in stack
+    // order. `rngs`/`adams` are compacted alongside so the forward sees
+    // one contiguous RNG stream per *active* individual.
+    let mut act_idx: Vec<usize> = (0..n).collect();
+    let mut cohort_batch = CohortBatch::from_batches(&batches.iter().collect::<Vec<_>>());
+    let mut epoch = 0usize;
+    while !act_idx.is_empty() {
+        tape.reset_to(keep);
+        let bindings: Vec<Binding> =
+            act_idx.iter().map(|&i| models[i].params().bind(&tape)).collect();
+        let out = {
+            let group: Vec<&M> = act_idx.iter().map(|&i| &models[i]).collect();
+            let binding_refs: Vec<&Binding> = bindings.iter().collect();
+            let mut ctx = CohortCtx::train(&mut rngs);
+            M::predict_cohort(&group, &tape, &binding_refs, &cohort_batch, &mut ctx)
+        };
+        // Per-individual MSE over each row block, summed pairwise: the
+        // add chain hands every loss node the seed gradient 1.0, so
+        // individual b's backward matches its standalone graph.
+        let mut loss_vars = Vec::with_capacity(act_idx.len());
+        let mut total = None;
+        for (pos, &i) in act_idx.iter().enumerate() {
+            let off = cohort_batch.offset(pos);
+            let wins = cohort_batch.group_wins()[pos];
+            let pred = tape.slice_rows(out, off, off + wins);
+            let l = tape.mse(pred, tgts[i]);
+            loss_vars.push(l);
+            total = Some(match total {
+                None => l,
+                Some(acc) => tape.add(acc, l),
+            });
+        }
+        tape.backward_into(total.expect("non-empty active group"), &mut grads);
+
+        let mut keep_mask = vec![true; act_idx.len()];
+        let mut total_loss = 0.0;
+        for (pos, &i) in act_idx.iter().enumerate() {
+            let config = &configs[i];
+            let loss_value = tape.value(loss_vars[pos]).data()[0];
+            losses[i].push(loss_value);
+            total_loss += loss_value;
+            let grad_norm = global_grad_norm(models[i].params(), &bindings[pos], &grads);
+            grad_norms[i].push(grad_norm);
+            adams[pos].step(models[i].params_mut(), &bindings[pos], &grads);
+            obs.observe("train_loss", &LOSS_BUCKETS, loss_value);
+
+            // Early stopping and schedule end, exactly as train_model
+            // decides them (the stopping epoch still takes its step).
+            if config.early_stop_rel > 0.0 {
+                if loss_value < best[i] * (1.0 - config.early_stop_rel) {
+                    best[i] = loss_value;
+                    since_best[i] = 0;
+                } else {
+                    since_best[i] += 1;
+                    if since_best[i] >= config.patience {
+                        early_stopped[i] = true;
+                        keep_mask[pos] = false;
+                        obs.inc_counter("early_stops", 1);
+                    }
+                }
+            }
+            if keep_mask[pos] && epoch + 1 >= config.epochs {
+                keep_mask[pos] = false;
+            }
+        }
+        point!(
+            "cohort_epoch",
+            epoch = epoch,
+            active = act_idx.len(),
+            loss_total = total_loss,
+            tape_nodes = tape.len()
+        );
+        obs.set_gauge("tape_nodes", tape.len() as f64);
+        epoch += 1;
+
+        // Finalize reports for individuals leaving the group, then
+        // compact the active-state vectors in lockstep and rebuild the
+        // stacked batch without them.
+        for (pos, &i) in act_idx.iter().enumerate() {
+            if !keep_mask[pos] {
+                let l = std::mem::take(&mut losses[i]);
+                let g = std::mem::take(&mut grad_norms[i]);
+                obs.observe("epochs_run", &EPOCH_BUCKETS, l.len() as f64);
+                obs.observe("grad_norm_final", &GRAD_NORM_BUCKETS, *g.last().expect("ran"));
+                reports[i] = Some(TrainReport {
+                    epochs_run: l.len(),
+                    early_stopped: early_stopped[i],
+                    losses: l,
+                    grad_norms: g,
+                });
+            }
+        }
+        if keep_mask.iter().any(|k| !k) {
+            let old_idx = std::mem::take(&mut act_idx);
+            let old_rngs = std::mem::take(&mut rngs);
+            let old_adams = std::mem::take(&mut adams);
+            for (((i, rng), adam), keep) in
+                old_idx.into_iter().zip(old_rngs).zip(old_adams).zip(&keep_mask)
+            {
+                if *keep {
+                    act_idx.push(i);
+                    rngs.push(rng);
+                    adams.push(adam);
+                }
+            }
+            if !act_idx.is_empty() {
+                let active_batches: Vec<&WindowBatch> =
+                    act_idx.iter().map(|&i| &batches[i]).collect();
+                cohort_batch = CohortBatch::from_batches(&active_batches);
+            }
+        }
+    }
+    ema_obs::drain_kernel_counters();
+    reports.into_iter().map(|r| r.expect("every individual finalized")).collect()
+}
+
+/// Runs one shard of individuals through the cohort-batched LSTM path:
+/// per-individual split → graph → windows (as [`run_individual`] does),
+/// then one [`train_cohort`] call for the whole shard, then
+/// per-individual evaluation. Outcomes are bit-identical to
+/// [`run_individual`] on each member.
+///
+/// # Panics
+/// Panics when the spec's model is not LSTM (no cohort forward), or on
+/// the same data inconsistencies as [`run_individual`].
+#[must_use]
+pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<IndividualOutcome> {
+    assert_eq!(
+        spec.model,
+        ModelKind::Lstm,
+        "cohort-batched training currently implements LSTM only"
+    );
+    assert!(!individuals.is_empty(), "empty shard");
+    let _kernel = spec.train_config.kernel_backend.scoped();
+    let mut models = Vec::with_capacity(individuals.len());
+    let mut train_windows = Vec::with_capacity(individuals.len());
+    let mut configs = Vec::with_capacity(individuals.len());
+    let mut test_windows = Vec::with_capacity(individuals.len());
+    let mut graphs = Vec::with_capacity(individuals.len());
+    for ind in individuals {
+        let (train, test) = split_train_test(&ind.data, spec.train_fraction);
+        let v = ind.data.dims()[1];
+        // Graph built from training data only — recorded in the
+        // outcome even though the LSTM itself ignores it.
+        let graph = match &spec.graph {
+            GraphSpec::None => None,
+            GraphSpec::Static { metric, gdt } => {
+                Some(graph_for_individual(&train, *metric, *gdt))
+            }
+            GraphSpec::Provided(g) => Some(g.clone()),
+        };
+        models.push(LstmForecaster::new(v, &spec.model_config));
+        train_windows.push(make_windows(&train, spec.seq_len));
+        test_windows.push(make_test_windows(&train, &test, spec.seq_len));
+        let mut config = spec.train_config;
+        config.seed = ema_tensor::derive_stream_seed(spec.train_config.seed, ind.id as u64);
+        configs.push(config);
+        graphs.push(graph);
+    }
+
+    let reports = {
+        let _train_span = span!("train", individuals = individuals.len());
+        train_cohort(&mut models, &train_windows, &configs)
+    };
+
+    individuals
+        .iter()
+        .zip(&models)
+        .zip(&test_windows)
+        .zip(reports)
+        .zip(graphs)
+        .map(|((((ind, model), test), report), graph)| {
+            let _eval_span = span!("evaluate", individual = ind.id, windows = test.len());
+            let outcome = IndividualOutcome {
+                id: ind.id,
+                mse: evaluate_mse(model, test),
+                per_variable_mse: evaluate_per_variable_mse(model, test),
+                final_train_loss: report.final_loss(),
+                epochs_run: report.epochs_run,
+                graph_used: graph,
+                learned_graph: None,
+            };
+            ema_obs::drain_kernel_counters();
+            outcome
+        })
+        .collect()
+}
+
+/// Streams a synthetic study through the executor in shards of
+/// `shard_size` individuals. Each shard becomes one [`Job`] that
+/// generates its slice of the study on the worker, runs it down the
+/// spec's [`CohortPath`] (batched for LSTM, per-individual otherwise),
+/// and returns its outcomes; per-shard memory is dropped when the job
+/// ends, and warm pool buffers are handed across jobs by the executor.
+///
+/// Results come back in individual order and are byte-identical at
+/// every `(thread count, shard size)` pair and across both paths.
+///
+/// # Panics
+/// Panics when `shard_size` is zero, or propagates the first shard
+/// failure after the queue drains.
+#[must_use]
+pub fn run_cohort_sharded(
+    generator: &EmaGenerator,
+    spec: &RunSpec,
+    shard_size: usize,
+    executor: &Executor,
+) -> Vec<IndividualOutcome> {
+    assert!(shard_size > 0, "shard size must be positive");
+    let n = generator.config().num_individuals;
+    let _span = span!(
+        "cohort_sharded",
+        model = spec.model.label(),
+        graph = spec.graph.label(),
+        individuals = n,
+        shard_size = shard_size,
+        threads = executor.threads()
+    );
+    let batched = spec.cohort_path == CohortPath::Batched && spec.model == ModelKind::Lstm;
+    let jobs: Vec<Job<'_, Vec<IndividualOutcome>>> = (0..n)
+        .step_by(shard_size)
+        .map(|start| {
+            let end = (start + shard_size).min(n);
+            Job::new(format!("shard_{start}_{end}"), move || {
+                let _shard_span = span!("shard", start = start, individuals = end - start);
+                let recorder = ema_obs::recorder();
+                recorder.inc_counter("exec.shard_batches", 1);
+                recorder.inc_counter("exec.shard_individuals", (end - start) as u64);
+                let individuals = generator.generate_range(start, end);
+                if batched {
+                    run_cohort_batch(&individuals, spec)
+                } else {
+                    individuals
+                        .iter()
+                        .map(|ind| run_individual(ind.id, &ind.data, spec))
+                        .collect()
+                }
+            })
+        })
+        .collect();
+    expect_all(executor.run(jobs), "sharded cohort").into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::train_model;
+    use ema_data::GeneratorConfig;
+    use ema_models::{Forecaster, ModelConfig};
+
+    fn quick_spec() -> RunSpec {
+        RunSpec {
+            model_config: ModelConfig::tiny(0),
+            train_config: TrainConfig::quick(12, 3),
+            ..RunSpec::new(ModelKind::Lstm, GraphSpec::None, 2)
+        }
+    }
+
+    fn generator() -> EmaGenerator {
+        EmaGenerator::new(GeneratorConfig::quick(5, 4, 17))
+    }
+
+    /// The whole point: one cohort tape graph must reproduce B separate
+    /// `train_model` runs bit for bit — losses, gradient norms, epoch
+    /// counts, and the trained parameters.
+    #[test]
+    fn train_cohort_matches_per_individual_train_model() {
+        let ds = generator().generate();
+        let spec = quick_spec();
+        let prep = |ind: &Individual| {
+            let (train, _) = split_train_test(&ind.data, spec.train_fraction);
+            let mut config = spec.train_config;
+            config.seed = ema_tensor::derive_stream_seed(spec.train_config.seed, ind.id as u64);
+            (make_windows(&train, spec.seq_len), config)
+        };
+        let mut models: Vec<LstmForecaster> = ds
+            .individuals
+            .iter()
+            .map(|ind| LstmForecaster::new(ind.data.dims()[1], &spec.model_config))
+            .collect();
+        let (windows, configs): (Vec<_>, Vec<_>) =
+            ds.individuals.iter().map(prep).unzip();
+        let reports = train_cohort(&mut models, &windows, &configs);
+
+        for (b, ind) in ds.individuals.iter().enumerate() {
+            let mut reference = LstmForecaster::new(ind.data.dims()[1], &spec.model_config);
+            let r = train_model(&mut reference, &windows[b], &configs[b]);
+            assert_eq!(reports[b].losses, r.losses, "individual {b} losses");
+            assert_eq!(reports[b].grad_norms, r.grad_norms, "individual {b} grad norms");
+            assert_eq!(reports[b].epochs_run, r.epochs_run, "individual {b} epochs");
+            assert_eq!(reports[b].early_stopped, r.early_stopped);
+            for id in reference.params().ids() {
+                assert_eq!(
+                    models[b].params().value(id).data(),
+                    reference.params().value(id).data(),
+                    "individual {b} param {} diverged",
+                    reference.params().name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_outcomes_match_oracle_at_any_shard_size_and_thread_count() {
+        let generator = generator();
+        let spec = quick_spec();
+        let oracle_spec = RunSpec { cohort_path: CohortPath::PerIndividual, ..spec.clone() };
+        let key = |outcomes: &[IndividualOutcome]| -> Vec<(usize, f64, f64, usize)> {
+            outcomes
+                .iter()
+                .map(|o| (o.id, o.mse, o.final_train_loss, o.epochs_run))
+                .collect()
+        };
+        let oracle = run_cohort_sharded(&generator, &oracle_spec, 1, &Executor::sequential());
+        assert_eq!(oracle.len(), 5);
+        for (shard_size, threads) in [(1, 1), (2, 2), (3, 4), (5, 1)] {
+            let got = run_cohort_sharded(
+                &generator,
+                &spec,
+                shard_size,
+                &Executor::with_threads(threads),
+            );
+            assert_eq!(key(&got), key(&oracle), "shard_size={shard_size} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn early_stopping_individuals_leave_the_active_group() {
+        let ds = generator().generate();
+        let spec = quick_spec();
+        let mut configs: Vec<TrainConfig> = Vec::new();
+        let mut models = Vec::new();
+        let mut windows = Vec::new();
+        for (b, ind) in ds.individuals.iter().enumerate() {
+            let (train, _) = split_train_test(&ind.data, spec.train_fraction);
+            let mut config = spec.train_config;
+            config.seed = ema_tensor::derive_stream_seed(config.seed, ind.id as u64);
+            // Stagger schedules so the group shrinks mid-run.
+            config.epochs = 4 + 3 * b;
+            config.early_stop_rel = 0.0;
+            models.push(LstmForecaster::new(ind.data.dims()[1], &spec.model_config));
+            windows.push(make_windows(&train, spec.seq_len));
+            configs.push(config);
+        }
+        let reports = train_cohort(&mut models, &windows, &configs);
+        for (b, report) in reports.iter().enumerate() {
+            assert_eq!(report.epochs_run, 4 + 3 * b, "individual {b}");
+            assert!(!report.early_stopped);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LSTM only")]
+    fn run_cohort_batch_rejects_graph_models() {
+        let ds = generator().generate();
+        let spec = RunSpec {
+            model_config: ModelConfig::tiny(0),
+            ..RunSpec::new(ModelKind::Mtgnn, GraphSpec::None, 2)
+        };
+        let _ = run_cohort_batch(&ds.individuals[..1], &spec);
+    }
+}

@@ -201,9 +201,12 @@ impl Executor {
                 let loop_start = recorder.elapsed_ns();
                 let mut busy_ns = 0u64;
                 let mut jobs_run = 0u64;
+                let n = jobs.len();
                 let results = jobs
                     .into_iter()
-                    .map(|job| {
+                    .enumerate()
+                    .map(|(i, job)| {
+                        recorder.set_gauge("exec.queue_depth", (n - 1 - i) as f64);
                         let (result, job_ns) = execute_job(job, 0);
                         busy_ns += job_ns;
                         jobs_run += 1;
@@ -357,6 +360,10 @@ fn run_pool<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<JobResult<T>>
                     if i >= n {
                         break;
                     }
+                    // Jobs not yet claimed by any worker; races between
+                    // workers are benign (telemetry only, last write
+                    // wins, and the gauge drains to 0 either way).
+                    recorder.set_gauge("exec.queue_depth", (n - 1 - i) as f64);
                     let job = lock(&queue[i]).take().expect("each job is taken exactly once");
                     let (result, job_ns) = execute_job(job, worker);
                     busy_ns += job_ns;

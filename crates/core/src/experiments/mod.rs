@@ -135,6 +135,7 @@ impl ExperimentScale {
             graph_learner: ema_models::GraphLearnerKind::Embedding,
             use_attention: true,
             use_spatial_attention: true,
+            cohort_path: crate::cohort::CohortPath::default(),
         }
     }
 

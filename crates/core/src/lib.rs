@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod cohort;
 pub mod evaluate;
 pub mod exec;
 pub mod experiments;
@@ -48,6 +49,7 @@ pub mod results;
 pub mod train;
 
 pub use checkpoint::Checkpoint;
+pub use cohort::{run_cohort_batch, run_cohort_sharded, train_cohort, CohortPath};
 pub use exec::{Backend, Executor, Job, JobError, JobResult};
 pub use forecast::{horizon_mse, iterative_forecast};
 pub use json::{Json, JsonError};

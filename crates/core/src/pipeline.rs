@@ -1,6 +1,7 @@
 //! The personalized per-individual pipeline and its parallel cohort
 //! runner (scheduled by the [`crate::exec`] cohort execution engine).
 
+use crate::cohort::CohortPath;
 use crate::evaluate::{evaluate_mse, evaluate_per_variable_mse};
 use crate::exec::{expect_all, Executor, Job};
 use crate::train::{train_model, TrainConfig};
@@ -72,6 +73,10 @@ pub struct RunSpec {
     /// For ASTGCN: whether spatial attention masks the Chebyshev stack
     /// (disabled = plain-ChebNet ablation).
     pub use_spatial_attention: bool,
+    /// Which training path sharded cohort runs take
+    /// ([`crate::cohort::run_cohort_sharded`]): the cohort-batched
+    /// graph or the per-individual oracle. Bit-identical results.
+    pub cohort_path: CohortPath,
 }
 
 impl RunSpec {
@@ -89,6 +94,7 @@ impl RunSpec {
             graph_learner: GraphLearnerKind::Embedding,
             use_attention: true,
             use_spatial_attention: true,
+            cohort_path: CohortPath::default(),
         }
     }
 }

@@ -140,6 +140,48 @@ impl EmaGenerator {
         }
     }
 
+    /// Generates individuals `start..end` of the study — byte-identical
+    /// to the same ids out of [`EmaGenerator::generate`], because every
+    /// individual's stream is split from `(seed, id)` rather than drawn
+    /// sequentially. Shard boundaries therefore never change numbers,
+    /// which is what lets sharded cohort runs stream generation instead
+    /// of materializing the whole study.
+    ///
+    /// # Panics
+    /// Panics when the range is inverted or exceeds the configured
+    /// study size.
+    #[must_use]
+    pub fn generate_range(&self, start: usize, end: usize) -> Vec<Individual> {
+        assert!(start <= end, "inverted range {start}..{end}");
+        assert!(
+            end <= self.config.num_individuals,
+            "range {start}..{end} exceeds study size {}",
+            self.config.num_individuals
+        );
+        let master = Rng64::seed_from(self.config.seed);
+        (start..end)
+            .map(|id| {
+                let mut rng = master.split(id as u64);
+                self.generate_individual(id, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Streams the study as shards of at most `shard_size` individuals,
+    /// materializing one shard at a time (the full study never exists
+    /// in memory at once). Concatenating the shards reproduces
+    /// [`EmaGenerator::generate`] byte for byte at any `shard_size`.
+    ///
+    /// # Panics
+    /// Panics when `shard_size` is zero.
+    pub fn shards(&self, shard_size: usize) -> impl Iterator<Item = Vec<Individual>> + '_ {
+        assert!(shard_size > 0, "shard size must be positive");
+        let n = self.config.num_individuals;
+        (0..n)
+            .step_by(shard_size)
+            .map(move |start| self.generate_range(start, (start + shard_size).min(n)))
+    }
+
     /// Generates a single participant with an independent RNG stream.
     #[must_use]
     pub fn generate_individual(&self, id: usize, rng: &mut Rng64) -> Individual {
@@ -303,6 +345,26 @@ mod tests {
             a.individuals[0].data.data(),
             c.individuals[0].data.data()
         );
+    }
+
+    #[test]
+    fn sharded_generation_matches_full_study_at_any_shard_size() {
+        let gen = quick_gen(9);
+        let full = gen.generate();
+        for shard_size in [1, 3, 4, 7] {
+            let streamed: Vec<_> = gen.shards(shard_size).flatten().collect();
+            assert_eq!(streamed.len(), full.individuals.len(), "shard size {shard_size}");
+            for (a, b) in streamed.iter().zip(&full.individuals) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.data.data(), b.data.data(), "shard size {shard_size} id {}", b.id);
+                assert_eq!(a.raw.data(), b.raw.data());
+            }
+        }
+        // An explicit sub-range also matches the full study's slice.
+        let mid = gen.generate_range(1, 3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid[0].data.data(), full.individuals[1].data.data());
+        assert_eq!(mid[1].data.data(), full.individuals[2].data.data());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 mod a3tgcn;
 mod astgcn;
+mod cohort;
 mod config;
 mod forecaster;
 mod gcn;
@@ -28,6 +29,7 @@ mod var;
 
 pub use a3tgcn::A3tgcn;
 pub use astgcn::Astgcn;
+pub use cohort::{cohort_dropout, CohortBatch, CohortCtx, CohortForecaster};
 pub use config::ModelConfig;
 pub use forecaster::{build_model, Forecaster, ForwardCtx, ModelKind, WindowBatch};
 pub use gcn::{gcn_layer, gcn_layer_batched, mixhop_propagation, mixhop_propagation_batched};

@@ -1,5 +1,6 @@
 //! The baseline LSTM forecaster (paper Experiment A).
 
+use crate::cohort::{cohort_dropout, CohortBatch, CohortCtx, CohortForecaster};
 use crate::{Forecaster, ForwardCtx, ModelConfig, WindowBatch};
 use ema_autodiff::{Tape, Var};
 use ema_nn::{Binding, Linear, LstmCell, ParamStore};
@@ -108,6 +109,44 @@ impl Forecaster for LstmForecaster {
         let last = *states.last().expect("non-empty window");
         let dropped = tape.dropout(last, self.dropout, ctx.training, ctx.rng);
         self.head.forward_batched(tape, binding, dropped, wins) // [W, V]
+    }
+}
+
+impl CohortForecaster for LstmForecaster {
+    fn predict_cohort(
+        group: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        batch: &CohortBatch,
+        ctx: &mut CohortCtx,
+    ) -> Var {
+        assert_eq!(group.len(), batch.num_groups(), "one window batch per model");
+        assert_eq!(group.len(), bindings.len(), "one binding per model");
+        for (b, model) in group.iter().enumerate() {
+            assert_eq!(
+                model.num_variables,
+                batch.num_vars(),
+                "individual {b}: batch has {} variables, model expects {}",
+                batch.num_vars(),
+                model.num_variables
+            );
+        }
+        // Mirror of `predict_batch` with grouped ops: step t across the
+        // whole cohort is one [Σ W_b, V] row block; every grouped op is
+        // bit-identical per block to the per-individual batched op, and
+        // dropout draws each individual's mask from its own stream.
+        let xs: Vec<Var> = (0..batch.seq_len())
+            .map(|t| tape.leaf(batch.step(t).clone()))
+            .collect();
+        let cells: Vec<&LstmCell> = group.iter().map(|m| &m.cell).collect();
+        let state = LstmCell::zero_state_grouped(&cells, tape, batch.total_rows());
+        let states =
+            LstmCell::run_sequence_grouped(&cells, tape, bindings, &xs, state, batch.group_wins());
+        let last = *states.last().expect("non-empty window");
+        let rates: Vec<f64> = group.iter().map(|m| m.dropout).collect();
+        let dropped = cohort_dropout(tape, last, &rates, batch.group_wins(), ctx);
+        let heads: Vec<&Linear> = group.iter().map(|m| &m.head).collect();
+        Linear::forward_grouped(&heads, tape, bindings, dropped, batch.group_wins()) // [Σ W_b, V]
     }
 }
 

@@ -3,14 +3,20 @@
 //! oracle graph (`predict_window` per window + `stack_rows`) — in
 //! predicted values AND in every parameter gradient, for all four
 //! paper models, in both train mode (dropout active, masks drawn
-//! window-major) and eval mode, across seeds and window counts.
+//! window-major) and eval mode, across seeds and window counts — plus
+//! the cohort-batched LSTM path ([`CohortForecaster::predict_cohort`],
+//! one grouped graph for B individuals) against B separate
+//! per-individual graphs.
 
 use ema_autodiff::{Tape, Var};
 use ema_check::{gen, prop_tests};
 use ema_graph::AdjacencyMatrix;
-use ema_models::{build_model, Forecaster, ForwardCtx, ModelConfig, ModelKind, WindowBatch};
+use ema_models::{
+    build_model, CohortBatch, CohortCtx, CohortForecaster, Forecaster, ForwardCtx,
+    LstmForecaster, ModelConfig, ModelKind, WindowBatch,
+};
 use ema_nn::Binding;
-use ema_tensor::{Rng64, Tensor};
+use ema_tensor::{derive_stream_seed, Rng64, Tensor};
 
 const V: usize = 4;
 const SEQ: usize = 3;
@@ -121,8 +127,94 @@ fn check_model(kind: ModelKind, seed: u64, wins: usize, training: bool) {
     }
 }
 
+/// One cohort comparison: B independent LSTMs forward through ONE
+/// grouped tape graph ([`CohortForecaster::predict_cohort`]) with
+/// per-individual MSE losses summed into one scalar, vs B separate
+/// [`Forecaster::predict_batch`] graphs — values per row block AND
+/// every individual's parameter gradients must match byte for byte.
+/// Per the cohort RNG contract each individual draws from its own
+/// stream, so the oracle runs reuse the same derived seeds.
+fn check_cohort(seed: u64, groups: usize, training: bool) {
+    let mut data_rng = Rng64::seed_from(seed ^ 0x9e37_79b9);
+    let mut models = Vec::with_capacity(groups);
+    let mut batches = Vec::with_capacity(groups);
+    let mut targets = Vec::with_capacity(groups);
+    let mut rng_seeds = Vec::with_capacity(groups);
+    for b in 0..groups {
+        let wins = gen::usize_in(&mut data_rng, 1, 5);
+        let windows: Vec<Tensor> = (0..wins)
+            .map(|_| Tensor::rand_normal(&[SEQ, V], 0.0, 1.0, &mut data_rng))
+            .collect();
+        models.push(LstmForecaster::new(V, &ModelConfig::tiny(seed.wrapping_add(b as u64))));
+        batches.push(WindowBatch::from_windows(&windows));
+        targets.push(Tensor::rand_normal(&[wins, V], 0.0, 1.0, &mut data_rng));
+        rng_seeds.push(derive_stream_seed(seed, b as u64));
+    }
+
+    // Cohort path: one tape, one grouped forward, one backward.
+    let tape = Tape::new();
+    let bindings: Vec<Binding> = models.iter().map(|m| m.params().bind(&tape)).collect();
+    let binding_refs: Vec<&Binding> = bindings.iter().collect();
+    let group_refs: Vec<&LstmForecaster> = models.iter().collect();
+    let batch_refs: Vec<&WindowBatch> = batches.iter().collect();
+    let cohort = CohortBatch::from_batches(&batch_refs);
+    let mut rngs: Vec<Rng64> = rng_seeds.iter().map(|&s| Rng64::seed_from(s)).collect();
+    let mut ctx = if training {
+        CohortCtx::train(&mut rngs)
+    } else {
+        CohortCtx::eval(&mut rngs)
+    };
+    let out = LstmForecaster::predict_cohort(&group_refs, &tape, &binding_refs, &cohort, &mut ctx);
+    let mut total: Option<Var> = None;
+    for (b, tgt) in targets.iter().enumerate() {
+        let off = cohort.offset(b);
+        let pred = tape.slice_rows(out, off, off + cohort.group_wins()[b]);
+        let loss = tape.mse(pred, tape.leaf(tgt.clone()));
+        total = Some(match total {
+            Some(acc) => tape.add(acc, loss),
+            None => loss,
+        });
+    }
+    let grads = tape.backward(total.expect("non-empty cohort"));
+    let cohort_val = tape.value(out);
+
+    // Oracle: each individual on its own tape with its own stream.
+    let mode = if training { "train" } else { "eval" };
+    for (b, model) in models.iter().enumerate() {
+        let (val, oracle_grads) =
+            run_batched(model, &batches[b], &targets[b], training, rng_seeds[b]);
+        let off = cohort.offset(b);
+        let wins = cohort.group_wins()[b];
+        assert_eq!(
+            &cohort_val.data()[off * V..(off + wins) * V],
+            val.data(),
+            "individual {b} {mode} values differ bit-wise"
+        );
+        let ids = model.params().ids();
+        for (i, oracle) in oracle_grads.iter().enumerate() {
+            let name = model.params().name(ids[i]);
+            let label = format!("individual {b} {mode} grad `{name}`");
+            let cohort_grad = grads.get(bindings[b].var(ids[i]));
+            match (oracle, cohort_grad) {
+                (Some(ga), Some(gb)) => assert_bit_identical(&label, ga, gb),
+                (None, None) => {}
+                _ => panic!("{label}: one path has a gradient, the other none"),
+            }
+        }
+    }
+}
+
 /// Generator: (seed, window count, training flag).
 fn case(rng: &mut Rng64) -> (u64, usize, bool) {
+    (
+        gen::usize_in(rng, 0, 1 << 16) as u64,
+        gen::usize_in(rng, 1, 5),
+        gen::usize_in(rng, 0, 2) == 0,
+    )
+}
+
+/// Generator: (seed, group count, training flag) for the cohort case.
+fn cohort_case(rng: &mut Rng64) -> (u64, usize, bool) {
     (
         gen::usize_in(rng, 0, 1 << 16) as u64,
         gen::usize_in(rng, 1, 5),
@@ -145,5 +237,9 @@ prop_tests! {
 
     fn mtgnn_batched_matches_oracle((seed, wins, training) in case) {
         check_model(ModelKind::Mtgnn, seed, wins, training);
+    }
+
+    fn lstm_cohort_matches_per_individual_oracle((seed, groups, training) in cohort_case) {
+        check_cohort(seed, groups, training);
     }
 }

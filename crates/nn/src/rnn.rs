@@ -263,6 +263,86 @@ impl LstmCell {
         }
         states
     }
+
+    /// Zero-initialised state for a cohort stack of `total_rows` rows
+    /// shared by `cells` (all cells must agree on the hidden width).
+    ///
+    /// # Panics
+    /// Panics if `cells` is empty or hidden widths differ.
+    pub fn zero_state_grouped(cells: &[&Self], tape: &Tape, total_rows: usize) -> LstmState {
+        let hd = Self::shared_hidden_dim(cells);
+        let h = tape.leaf(ema_tensor::Tensor::zeros(&[total_rows, hd]));
+        let c = tape.leaf(ema_tensor::Tensor::zeros(&[total_rows, hd]));
+        LstmState { h, c }
+    }
+
+    /// One step over a cohort row stack: group `b`'s `group_rows[b]`
+    /// contiguous rows of `x: [Σ rows, X]` go through `cells[b]`'s own
+    /// parameters bound via `bindings[b]`. Row-block `b` is
+    /// bit-identical to [`LstmCell::forward_batched`] on that
+    /// individual alone: the grouped linears match per block (see
+    /// `Tape::group_linear`) and the add/cell/slice chain is rowwise.
+    ///
+    /// # Panics
+    /// Panics when slice lengths disagree or cell widths differ.
+    pub fn forward_grouped(
+        cells: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        x: Var,
+        state: LstmState,
+        group_rows: &[usize],
+    ) -> LstmState {
+        assert_eq!(cells.len(), bindings.len(), "one binding per cell");
+        let hd = Self::shared_hidden_dim(cells);
+        let pairs = |pick: fn(&Self) -> (ParamId, ParamId)| -> Vec<(Var, Var)> {
+            cells
+                .iter()
+                .zip(bindings)
+                .map(|(c, bind)| {
+                    let (w, b) = pick(c);
+                    (bind.var(w), bind.var(b))
+                })
+                .collect()
+        };
+        let gi = tape.group_linear(x, &pairs(|c| (c.w_ih, c.b_ih)), group_rows);
+        let gh = tape.group_linear(state.h, &pairs(|c| (c.w_hh, c.b_hh)), group_rows);
+        let gates_pre = tape.add(gi, gh);
+        let hc = tape.lstm_cell(gates_pre, state.c);
+        let h = tape.slice_cols(hc, 0, hd);
+        let c = tape.slice_cols(hc, hd, 2 * hd);
+        LstmState { h, c }
+    }
+
+    /// Grouped [`LstmCell::run_sequence_batched`] over a cohort stack,
+    /// returning every hidden state.
+    pub fn run_sequence_grouped(
+        cells: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        xs: &[Var],
+        mut state: LstmState,
+        group_rows: &[usize],
+    ) -> Vec<Var> {
+        let mut states = Vec::with_capacity(xs.len());
+        for &x in xs {
+            state = Self::forward_grouped(cells, tape, bindings, x, state, group_rows);
+            states.push(state.h);
+        }
+        states
+    }
+
+    fn shared_hidden_dim(cells: &[&Self]) -> usize {
+        let hd = cells
+            .first()
+            .expect("grouped LSTM needs at least one cell")
+            .hidden_dim;
+        assert!(
+            cells.iter().all(|c| c.hidden_dim == hd),
+            "grouped LSTM cells must share the hidden width"
+        );
+        hd
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,43 @@ pub fn matmul_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize,
     pool::recycle(bt);
 }
 
+/// `out = a · wᵀ + bias` for `a: [m,k]`, `w: [n,k]`, `bias: [n]`,
+/// `out: [m,n]`. Bit-identical to [`crate::Tensor::addmm`]: same
+/// pooled wᵀ repack, same zeroed accumulation, and the bias is added
+/// *after* each output's accumulation completes (the composed
+/// ordering).
+///
+/// # Panics
+/// Panics when a slice length disagrees with its dimensions.
+pub fn addmm_into(
+    a: &[f64],
+    w: &[f64],
+    bias: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "addmm_into lhs length");
+    assert_eq!(w.len(), n * k, "addmm_into weight length");
+    assert_eq!(bias.len(), n, "addmm_into bias length");
+    assert_eq!(out.len(), m * n, "addmm_into out length");
+    let mut wt = pool::take_uninit(k * n);
+    for (j, wrow) in w.chunks_exact(k).enumerate() {
+        for (p, &wv) in wrow.iter().enumerate() {
+            wt[p * n + j] = wv;
+        }
+    }
+    out.fill(0.0);
+    matmul_accumulate(a, &wt, out, m, k, n);
+    pool::recycle(wt);
+    for orow in out.chunks_exact_mut(n) {
+        for (o, &bv) in orow.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+}
+
 /// `out[j] = Σ_i a[i,j]` for `a: [m,n]`, `out: [n]` — ascending-row
 /// accumulation from `0.0` per column, bit-identical to
 /// [`crate::Tensor::col_sums`].
@@ -125,6 +162,32 @@ mod tests {
         let mut out = vec![9.9; 20];
         matmul_nt_into(a.data(), b.data(), &mut out, 4, 3, 5);
         assert_eq!(out, a.matmul_nt(&b).data());
+    }
+
+    #[test]
+    fn addmm_into_matches_tensor_twin() {
+        let x = rand(&[4, 3], 10);
+        let w = rand(&[5, 3], 11);
+        let bias = rand(&[5], 12);
+        let mut out = vec![9.9; 20];
+        addmm_into(x.data(), w.data(), bias.data(), &mut out, 4, 3, 5);
+        assert_eq!(out, x.addmm(&w, &bias).data());
+    }
+
+    #[test]
+    fn addmm_into_row_block_matches_sliced_tensor() {
+        // Per-group use: one contiguous row block of a cohort stack
+        // must produce the same bits as the per-individual addmm.
+        let stacked = rand(&[6, 3], 13); // three [2, 3] blocks
+        let w = rand(&[4, 3], 14);
+        let bias = rand(&[4], 15);
+        for g in 0..3 {
+            let block = &stacked.data()[g * 6..(g + 1) * 6];
+            let mut out = vec![0.0; 8];
+            addmm_into(block, w.data(), bias.data(), &mut out, 2, 3, 4);
+            let reference = stacked.slice_rows(g * 2, (g + 1) * 2).addmm(&w, &bias);
+            assert_eq!(out, reference.data());
+        }
     }
 
     #[test]

@@ -48,6 +48,15 @@ echo "==> batched-forward equivalence (EMA_THREADS=4)"
 EMA_THREADS=4 cargo test --offline -p ema-models --test batched_equivalence -q
 EMA_THREADS=4 cargo test --offline --test determinism -q batched_and_per_window_paths_emit_identical_results_json
 
+echo "==> sharded-cohort smoke (EMA_THREADS=4)"
+# Streamed sharded cohort on a 4-worker executor: the cohort-batched
+# tape graph must be bit-identical to the per-individual oracle, and
+# shard boundaries must never change numbers. Covers the 2-shard ×
+# 2-individual shape alongside shard sizes 1 and 4 (the grid inside
+# the test), plus the 256-case models-layer cohort property.
+EMA_THREADS=4 cargo test --offline -p ema-models --test batched_equivalence -q lstm_cohort_matches_per_individual_oracle
+EMA_THREADS=4 cargo test --offline --test determinism -q cohort_sharded_results_identical_across_threads_shards_and_paths
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

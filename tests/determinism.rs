@@ -335,6 +335,70 @@ fn scalar_backend_results_match_committed_baseline() {
     );
 }
 
+/// A per-individual record of a streamed sharded cohort run; sharding
+/// must be invisible in it byte for byte.
+fn cohort_sharded_results_json(
+    threads: usize,
+    shard_size: usize,
+    path: ema_core::CohortPath,
+) -> String {
+    use ema_core::{run_cohort_sharded, Json, RunSpec, TrainConfig};
+    use ema_data::{EmaGenerator, GeneratorConfig};
+    use ema_models::ModelConfig;
+
+    let generator = EmaGenerator::new(GeneratorConfig::quick(4, 4, 41));
+    let mut spec = RunSpec::new(ModelKind::Lstm, GraphSpec::None, 2);
+    spec.model_config = ModelConfig::tiny(0);
+    spec.train_config = TrainConfig::quick(3, 7);
+    spec.cohort_path = path;
+    let executor = Executor::with_threads(threads);
+    let outcomes = run_cohort_sharded(&generator, &spec, shard_size, &executor);
+    Json::Arr(
+        outcomes
+            .iter()
+            .map(|o| {
+                Json::obj(vec![
+                    ("id", Json::Num(o.id as f64)),
+                    ("mse", Json::Num(o.mse)),
+                    (
+                        "per_variable_mse",
+                        Json::Arr(o.per_variable_mse.iter().map(|&m| Json::Num(m)).collect()),
+                    ),
+                    ("final_train_loss", Json::Num(o.final_train_loss)),
+                    ("epochs_run", Json::Num(o.epochs_run as f64)),
+                ])
+            })
+            .collect(),
+    )
+    .compact()
+}
+
+/// The streaming sharded cohort path's headline guarantee: results are
+/// byte-identical at every `(thread count, shard size)` pair — shard
+/// boundaries never change numbers because every per-individual stream
+/// is derived from `(run seed, id)` — and the cohort-batched tape graph
+/// matches the per-individual oracle path byte for byte.
+#[test]
+fn cohort_sharded_results_identical_across_threads_shards_and_paths() {
+    use ema_core::CohortPath;
+
+    let baseline = cohort_sharded_results_json(1, 1, CohortPath::Batched);
+    // (4, 2) is the CI smoke shape: 2 shards × 2 individuals on a
+    // 4-worker executor.
+    for (threads, shard) in [(4, 4), (4, 2), (4, 1)] {
+        let probe = cohort_sharded_results_json(threads, shard, CohortPath::Batched);
+        assert!(
+            baseline == probe,
+            "threads={threads}, shard={shard} diverged from threads=1, shard=1:\n--- baseline ---\n{baseline}\n--- probe ---\n{probe}"
+        );
+    }
+    let oracle = cohort_sharded_results_json(4, 4, CohortPath::PerIndividual);
+    assert!(
+        baseline == oracle,
+        "cohort-batched path diverged from the per-individual oracle:\n--- batched ---\n{baseline}\n--- oracle ---\n{oracle}"
+    );
+}
+
 #[test]
 fn same_seed_training_yields_byte_identical_checkpoints() {
     use ema_models::{build_model, ModelConfig};
