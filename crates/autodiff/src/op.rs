@@ -111,14 +111,38 @@ pub enum Op {
     /// state `t`'s block `w`. Fields: states, window count.
     StackWindowBlocks(Vec<Var>, usize),
     /// Per-group fused linear layer over a cohort row stack: group `b`
-    /// of `x: [Σ rows, k]` (its `rows[b]` contiguous rows) times its
-    /// own `w_b: [out, k]ᵀ` plus `bias_b: [out]`, giving `[Σ rows,
-    /// out]`. Forward is one `addmm` per group on the row block;
-    /// backward keeps the stacked `dx` dense and defers each group's
-    /// (w, bias) gradients as per-row pieces replayed in the
-    /// per-individual graph's accumulation order. Fields: x, per-group
-    /// `(w, bias)` pairs, per-group row counts.
-    GroupLinear(Var, Vec<(Var, Var)>, Vec<usize>),
+    /// of `x: [Σ wins·rows, k]` (its `wins[b]·rows` contiguous rows)
+    /// times its own `w_b: [out, k]ᵀ` plus `bias_b: [out]`, giving
+    /// `[Σ wins·rows, out]`. Forward is one `addmm` per group on the
+    /// row block; backward keeps the stacked `dx` dense and defers each
+    /// group's (w, bias) gradients as per-window pieces of `rows` rows
+    /// replayed in the per-individual graph's accumulation order.
+    /// Fields: x, per-group `(w, bias)` pairs, per-group window counts,
+    /// rows per window block.
+    GroupLinear(Var, Vec<(Var, Var)>, Vec<usize>, usize),
+    /// Per-group matrix product of a cohort row stack against each
+    /// group's own rhs: group `b` of `x: [Σ wins·rows, k]` times its
+    /// `rhs_b: [k, n]`, giving `[Σ wins·rows, n]`. Backward keeps the
+    /// stacked `dx` dense and defers each group's rhs gradient as
+    /// per-window pieces. Fields: x, per-group rhs, per-group window
+    /// counts, rows per window block, grouped-replay flag (see `Grads`'
+    /// pending machinery).
+    GroupMatmul(Var, Vec<Var>, Vec<usize>, usize, bool),
+    /// Per-group `x · rhsᵀ` against each group's own rhs: group `b` of
+    /// `x: [Σ wins·rows, k]` times `rhs_b: [n, k]ᵀ`, giving
+    /// `[Σ wins·rows, n]`. Fields: x, per-group rhs, per-group window
+    /// counts, rows per window block.
+    GroupMatmulNT(Var, Vec<Var>, Vec<usize>, usize),
+    /// Each group's own `[c]` row added to every row of that group's
+    /// block of a `[Σ wins·rows, c]` cohort stack. Fields: m, per-group
+    /// rows, per-group window counts, rows per window block.
+    GroupAddRow(Var, Vec<Var>, Vec<usize>, usize),
+    /// Per-group block-lhs product: group `b`'s own `lhs_b: [p, q]`
+    /// times each `[q, n]` window block of its slice of
+    /// `x: [Σ wins·q, n]`, giving `[Σ wins·p, n]` — the grouped twin of
+    /// `BlockLhsMatmul` for per-individual graph constants. Fields:
+    /// per-group lhs, x, per-group window counts.
+    GroupBlockLhsMatmul(Vec<Var>, Var, Vec<usize>),
 }
 
 impl Op {
@@ -165,12 +189,24 @@ impl Op {
             | Op::Dropout(a, _) => vec![*a],
             Op::StackRows(vars) => vars.clone(),
             Op::StackWindowBlocks(vars, _) => vars.clone(),
-            Op::GroupLinear(x, params, _) => {
+            Op::GroupLinear(x, params, _, _) => {
                 let mut out = vec![*x];
                 for &(w, b) in params {
                     out.push(w);
                     out.push(b);
                 }
+                out
+            }
+            Op::GroupMatmul(x, rhses, _, _, _)
+            | Op::GroupMatmulNT(x, rhses, _, _)
+            | Op::GroupAddRow(x, rhses, _, _) => {
+                let mut out = vec![*x];
+                out.extend_from_slice(rhses);
+                out
+            }
+            Op::GroupBlockLhsMatmul(lhses, x, _) => {
+                let mut out = lhses.clone();
+                out.push(*x);
                 out
             }
         }

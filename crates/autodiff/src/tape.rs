@@ -780,20 +780,22 @@ fn backward_one(
                 contribs.push((s, Tensor::from_vec(sv.dims(), d).expect("state grad shape")));
             }
         }
-        Op::GroupLinear(x, ref params, ref rows) => {
+        Op::GroupLinear(x, ref params, ref wins, block_rows) => {
             // Per group b: dx_b = g_b · w_b (dense in the stack, one
             // kernel call per group with the same (m, k, n) as the
             // per-individual `Op::BatchedAddmm` dx, so the blocked-path
             // decision — and every bit — matches the oracle), while
-            // w_b and bias_b gradients are deferred as single-row
-            // pieces anchored at the group's row offset and replayed
-            // in the per-individual graph's accumulation order.
+            // w_b and bias_b gradients are deferred as per-window
+            // pieces of `block_rows` rows anchored at the group's row
+            // offset and replayed in the per-individual graph's
+            // accumulation order.
             let xv = val(x);
             let k = xv.dims()[1];
             let out_cols = out_value.dims()[1];
             let mut dx = pool::take_uninit(xv.len());
             let mut off = 0usize;
-            for (&(w, bias), &r) in params.iter().zip(rows) {
+            for (&(w, bias), &wb) in params.iter().zip(wins) {
+                let r = wb * block_rows;
                 let g_b = &g.data()[off * out_cols..(off + r) * out_cols];
                 kernels::matmul_into(
                     g_b,
@@ -809,11 +811,11 @@ fn backward_one(
                         kind: PendingKind::GtX,
                         g_node: i,
                         x_node: x.0,
-                        wins: r,
+                        wins: wb,
                         grouped: false,
-                        g_rows: 1,
+                        g_rows: block_rows,
                         g_off: off,
-                        x_rows: 1,
+                        x_rows: block_rows,
                         x_off: off,
                     },
                 ));
@@ -823,15 +825,161 @@ fn backward_one(
                         kind: PendingKind::ColSums,
                         g_node: i,
                         x_node: i,
-                        wins: r,
+                        wins: wb,
                         grouped: false,
-                        g_rows: 1,
+                        g_rows: block_rows,
                         g_off: off,
-                        x_rows: 1,
+                        x_rows: block_rows,
                         x_off: off,
                     },
                 ));
                 off += r;
+            }
+            contribs.push((x, Tensor::from_vec(xv.dims(), dx).expect("group dx shape")));
+        }
+        Op::GroupMatmul(x, ref rhses, ref wins, block_rows, grouped) => {
+            // Per group b: dx_b = g_b · rhs_bᵀ (dense, same (m, k, n)
+            // as the per-individual `Op::BatchedMatmul` dx); each
+            // group's rhs gradient is deferred as per-window XᵀG pieces
+            // anchored at the group's row offset.
+            let xv = val(x);
+            let k = xv.dims()[1];
+            let n = out_value.dims()[1];
+            let mut dx = pool::take_uninit(xv.len());
+            let mut off = 0usize;
+            for (&rhs, &wb) in rhses.iter().zip(wins) {
+                let r = wb * block_rows;
+                let g_b = &g.data()[off * n..(off + r) * n];
+                kernels::matmul_nt_into(
+                    g_b,
+                    val(rhs).data(),
+                    &mut dx[off * k..(off + r) * k],
+                    r,
+                    n,
+                    k,
+                );
+                deferred.push((
+                    rhs,
+                    PendingUse {
+                        kind: PendingKind::XtG,
+                        g_node: i,
+                        x_node: x.0,
+                        wins: wb,
+                        grouped,
+                        g_rows: block_rows,
+                        g_off: off,
+                        x_rows: block_rows,
+                        x_off: off,
+                    },
+                ));
+                off += r;
+            }
+            contribs.push((x, Tensor::from_vec(xv.dims(), dx).expect("group dx shape")));
+        }
+        Op::GroupMatmulNT(x, ref rhses, ref wins, block_rows) => {
+            // Per group b: dx_b = g_b · rhs_b (dense); each group's rhs
+            // gradient is deferred as per-window GᵀX pieces.
+            let xv = val(x);
+            let k = xv.dims()[1];
+            let n = out_value.dims()[1];
+            let mut dx = pool::take_uninit(xv.len());
+            let mut off = 0usize;
+            for (&rhs, &wb) in rhses.iter().zip(wins) {
+                let r = wb * block_rows;
+                let g_b = &g.data()[off * n..(off + r) * n];
+                kernels::matmul_into(
+                    g_b,
+                    val(rhs).data(),
+                    &mut dx[off * k..(off + r) * k],
+                    r,
+                    n,
+                    k,
+                );
+                deferred.push((
+                    rhs,
+                    PendingUse {
+                        kind: PendingKind::GtX,
+                        g_node: i,
+                        x_node: x.0,
+                        wins: wb,
+                        grouped: false,
+                        g_rows: block_rows,
+                        g_off: off,
+                        x_rows: block_rows,
+                        x_off: off,
+                    },
+                ));
+                off += r;
+            }
+            contribs.push((x, Tensor::from_vec(xv.dims(), dx).expect("group dx shape")));
+        }
+        Op::GroupAddRow(m, ref rows, ref wins, block_rows) => {
+            // dm is the gradient unchanged; each group's row gradient
+            // is deferred as per-window column sums over its block.
+            contribs.push((m, g.clone()));
+            let mut off = 0usize;
+            for (&row, &wb) in rows.iter().zip(wins) {
+                deferred.push((
+                    row,
+                    PendingUse {
+                        kind: PendingKind::ColSums,
+                        g_node: i,
+                        x_node: i,
+                        wins: wb,
+                        grouped: false,
+                        g_rows: block_rows,
+                        g_off: off,
+                        x_rows: block_rows,
+                        x_off: off,
+                    },
+                ));
+                off += wb * block_rows;
+            }
+        }
+        Op::GroupBlockLhsMatmul(ref lhses, x, ref wins) => {
+            // Per group b: the shared-lhs backward restricted to the
+            // group's window span — gather its g slice to the
+            // column-permuted layout, one lhs_bᵀ · ĝ product, scatter
+            // back — so every window block matches the per-individual
+            // `Op::BlockLhsMatmul` backward bit for bit. Each group's
+            // lhs gradient is deferred as per-window G·Xᵀ pieces at the
+            // group's (output, input) row offsets.
+            let xv = val(x);
+            let n = xv.dims()[1];
+            let (p, q) = (val(lhses[0]).dims()[0], val(lhses[0]).dims()[1]);
+            let mut dx = pool::take_uninit(xv.len());
+            let (mut xoff, mut goff) = (0usize, 0usize);
+            for (&lhs, &wb) in lhses.iter().zip(wins) {
+                let lv = val(lhs);
+                let ghat = tape_ops_batched::gather_window_cols(
+                    &g.data()[goff * n..(goff + wb * p) * n],
+                    wb,
+                    p,
+                    n,
+                );
+                let mut dxhat = pool::take_uninit(q * wb * n);
+                kernels::matmul_tn_into(lv.data(), &ghat, &mut dxhat, p, q, wb * n);
+                pool::recycle(ghat);
+                let dx_b = tape_ops_batched::scatter_window_cols(&dxhat, wb, q, n);
+                pool::recycle(dxhat);
+                dx[xoff * n..(xoff + wb * q) * n].copy_from_slice(&dx_b);
+                pool::recycle(dx_b);
+                deferred.push((
+                    lhs,
+                    PendingUse {
+                        kind: PendingKind::GntX,
+                        g_node: i,
+                        x_node: x.0,
+                        wins: wb,
+                        grouped: false,
+                        g_rows: p,
+                        g_off: goff,
+                        x_rows: q,
+                        x_off: xoff,
+                    },
+                ));
+                xoff += wb * q;
+                goff += wb * p;
             }
             contribs.push((x, Tensor::from_vec(xv.dims(), dx).expect("group dx shape")));
         }

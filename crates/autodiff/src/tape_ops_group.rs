@@ -2,43 +2,77 @@
 //!
 //! A cohort stack row-stacks B individuals' window batches into one
 //! operand (`[Σ_b rows_b, c]`, individual-major); each individual keeps
-//! its *own* parameters, so the shared-operand batched ops in
-//! `tape_ops_batched` do not apply. [`Tape::group_linear`] is the
-//! grouped-LHS variant: group `b`'s contiguous row block goes through
-//! its own `(w_b, bias_b)` pair.
+//! its *own* parameters and graph constants, so the shared-operand
+//! batched ops in `tape_ops_batched` do not apply. Each op here is the
+//! grouped-operand twin of a batched op: group `b`'s contiguous row
+//! block goes through its own parameter/constant.
+//!
+//! Row geometry: group `b` spans `group_wins[b] · block_rows`
+//! contiguous rows — `block_rows` is 1 for window-level stacks (LSTM
+//! hidden rows, attention scores) and `V` (nodes per window) for the
+//! graph models' node-level stacks.
 //!
 //! The bit-identity contract mirrors the batched ops: forward runs the
-//! exact per-individual `addmm` kernel on each row block (the kernel
-//! contract makes every output row independent of the batch height,
-//! and the per-group call even repeats the per-individual blocked-path
+//! exact per-individual kernel on each row block (the kernel contract
+//! makes every output row independent of the batch height, and the
+//! per-group call even repeats the per-individual blocked-path
 //! decision, since the block's `(m, k, n)` matches); backward keeps
-//! the stacked `dx` dense and defers each group's weight/bias
-//! gradients as single-row pieces anchored at the group's row offset,
+//! the stacked `dx` dense and defers each group's weight/bias/constant
+//! gradients as per-window pieces anchored at the group's row offset,
 //! replayed in the per-individual graph's accumulation order by the
 //! pending machinery in `Grads`/`Tape::backward_into`.
 
+use crate::tape_ops_batched::{gather_window_cols, scatter_window_cols};
 use crate::{Op, Tape, Var};
 use ema_tensor::{kernels, pool, Tensor};
 
+/// Asserts the shared group-geometry preconditions and returns the
+/// total row count `Σ group_wins[b] · block_rows`.
+fn group_rows_check(name: &str, operands: usize, group_wins: &[usize], block_rows: usize) -> usize {
+    assert_eq!(
+        operands,
+        group_wins.len(),
+        "{name}: {operands} per-group operands vs {} window counts",
+        group_wins.len()
+    );
+    assert!(!group_wins.is_empty(), "{name} needs at least one group");
+    assert!(block_rows > 0, "{name}: block_rows must be positive");
+    for (b, &w) in group_wins.iter().enumerate() {
+        assert!(w > 0, "{name}: group {b} has zero windows");
+    }
+    group_wins.iter().sum::<usize>() * block_rows
+}
+
 impl Tape {
-    /// Per-group fused linear layer over a cohort row stack: group `b`
-    /// (rows `[off_b, off_b + rows[b])` of `x: [Σ rows, k]`) times its
-    /// own `w_b: [out, k]ᵀ` plus `bias_b: [out]`, producing
-    /// `[Σ rows, out]`. All groups must share the in/out widths.
+    /// Per-group fused linear layer over a window-level cohort stack:
+    /// [`Tape::group_linear_blocks`] with one row per window.
     ///
     /// # Panics
     /// Panics when `params` and `group_rows` disagree in length, are
     /// empty, the row counts don't sum to `x`'s rows, a group has zero
     /// rows, or any group's parameter shapes mismatch.
     pub fn group_linear(&self, x: Var, params: &[(Var, Var)], group_rows: &[usize]) -> Var {
-        assert_eq!(
-            params.len(),
-            group_rows.len(),
-            "group_linear: {} param pairs vs {} row counts",
-            params.len(),
-            group_rows.len()
-        );
-        assert!(!params.is_empty(), "group_linear needs at least one group");
+        self.group_linear_blocks(x, params, group_rows, 1)
+    }
+
+    /// Per-group fused linear layer over a cohort row stack: group `b`
+    /// (its `group_wins[b] · block_rows` contiguous rows of
+    /// `x: [Σ wins·rows, k]`) times its own `w_b: [out, k]ᵀ` plus
+    /// `bias_b: [out]`, producing `[Σ wins·rows, out]`. All groups must
+    /// share the in/out widths.
+    ///
+    /// # Panics
+    /// Panics when `params` and `group_wins` disagree in length, are
+    /// empty, the row counts don't sum to `x`'s rows, a group has zero
+    /// windows, or any group's parameter shapes mismatch.
+    pub fn group_linear_blocks(
+        &self,
+        x: Var,
+        params: &[(Var, Var)],
+        group_wins: &[usize],
+        block_rows: usize,
+    ) -> Var {
+        let total = group_rows_check("group_linear", params.len(), group_wins, block_rows);
         let mut vars = Vec::with_capacity(1 + 2 * params.len());
         vars.push(x);
         for &(w, b) in params {
@@ -48,17 +82,18 @@ impl Tape {
         let out = self.compute(
             |v| {
                 let xv = v[0];
-                let (total, k) = (xv.dims()[0], xv.dims()[1]);
+                let k = xv.dims()[1];
                 assert_eq!(
-                    group_rows.iter().sum::<usize>(),
                     total,
-                    "group_linear: group rows must sum to the stacked row count {total}"
+                    xv.dims()[0],
+                    "group_linear: group rows must sum to the stacked row count {}",
+                    xv.dims()[0]
                 );
                 let out_cols = v[1].dims()[0];
                 let mut out = pool::take_uninit(total * out_cols);
                 let mut off = 0usize;
-                for (b, &r) in group_rows.iter().enumerate() {
-                    assert!(r > 0, "group_linear: group {b} has zero rows");
+                for (b, &wins) in group_wins.iter().enumerate() {
+                    let r = wins * block_rows;
                     let (wv, bv) = (v[1 + 2 * b], v[2 + 2 * b]);
                     assert_eq!(
                         wv.dims(),
@@ -85,7 +120,266 @@ impl Tape {
             },
             &vars,
         );
-        self.push(out, Op::GroupLinear(x, params.to_vec(), group_rows.to_vec()))
+        self.push(
+            out,
+            Op::GroupLinear(x, params.to_vec(), group_wins.to_vec(), block_rows),
+        )
+    }
+
+    /// Per-group matrix product: group `b`'s row block of
+    /// `x: [Σ wins·rows, k]` times its own `rhs_b: [k, n]`, producing
+    /// `[Σ wins·rows, n]`. The grouped twin of `batched_matmul`.
+    ///
+    /// # Panics
+    /// Panics on length/shape mismatches (see [`Tape::group_linear_blocks`]).
+    pub fn group_matmul(
+        &self,
+        x: Var,
+        rhses: &[Var],
+        group_wins: &[usize],
+        block_rows: usize,
+    ) -> Var {
+        self.group_matmul_impl(x, rhses, group_wins, block_rows, false)
+    }
+
+    /// [`Tape::group_matmul`] whose deferred rhs gradients replay with
+    /// window-grouped accumulation — for oracle graphs that fold one
+    /// window's pieces before accumulating (e.g. attention scores built
+    /// via `batched_matmul_grouped`).
+    pub fn group_matmul_grouped(
+        &self,
+        x: Var,
+        rhses: &[Var],
+        group_wins: &[usize],
+        block_rows: usize,
+    ) -> Var {
+        self.group_matmul_impl(x, rhses, group_wins, block_rows, true)
+    }
+
+    fn group_matmul_impl(
+        &self,
+        x: Var,
+        rhses: &[Var],
+        group_wins: &[usize],
+        block_rows: usize,
+        grouped: bool,
+    ) -> Var {
+        let total = group_rows_check("group_matmul", rhses.len(), group_wins, block_rows);
+        let mut vars = Vec::with_capacity(1 + rhses.len());
+        vars.push(x);
+        vars.extend_from_slice(rhses);
+        let out = self.compute(
+            |v| {
+                let xv = v[0];
+                let k = xv.dims()[1];
+                assert_eq!(
+                    total,
+                    xv.dims()[0],
+                    "group_matmul: group rows must sum to the stacked row count {}",
+                    xv.dims()[0]
+                );
+                let n = v[1].dims()[1];
+                let mut out = pool::take_uninit(total * n);
+                let mut off = 0usize;
+                for (b, &wins) in group_wins.iter().enumerate() {
+                    let r = wins * block_rows;
+                    let rv = v[1 + b];
+                    assert_eq!(
+                        rv.dims(),
+                        &[k, n],
+                        "group_matmul: group {b} rhs shape mismatch"
+                    );
+                    kernels::matmul_into(
+                        &xv.data()[off * k..(off + r) * k],
+                        rv.data(),
+                        &mut out[off * n..(off + r) * n],
+                        r,
+                        k,
+                        n,
+                    );
+                    off += r;
+                }
+                Tensor::from_vec(&[total, n], out).expect("group_matmul shape")
+            },
+            &vars,
+        );
+        self.push(
+            out,
+            Op::GroupMatmul(x, rhses.to_vec(), group_wins.to_vec(), block_rows, grouped),
+        )
+    }
+
+    /// Per-group `x · rhsᵀ`: group `b`'s row block of
+    /// `x: [Σ wins·rows, k]` times its own `rhs_b: [n, k]ᵀ`, producing
+    /// `[Σ wins·rows, n]`. The grouped twin of `batched_matmul_nt`.
+    ///
+    /// # Panics
+    /// Panics on length/shape mismatches (see [`Tape::group_linear_blocks`]).
+    pub fn group_matmul_nt(
+        &self,
+        x: Var,
+        rhses: &[Var],
+        group_wins: &[usize],
+        block_rows: usize,
+    ) -> Var {
+        let total = group_rows_check("group_matmul_nt", rhses.len(), group_wins, block_rows);
+        let mut vars = Vec::with_capacity(1 + rhses.len());
+        vars.push(x);
+        vars.extend_from_slice(rhses);
+        let out = self.compute(
+            |v| {
+                let xv = v[0];
+                let k = xv.dims()[1];
+                assert_eq!(
+                    total,
+                    xv.dims()[0],
+                    "group_matmul_nt: group rows must sum to the stacked row count {}",
+                    xv.dims()[0]
+                );
+                let n = v[1].dims()[0];
+                let mut out = pool::take_uninit(total * n);
+                let mut off = 0usize;
+                for (b, &wins) in group_wins.iter().enumerate() {
+                    let r = wins * block_rows;
+                    let rv = v[1 + b];
+                    assert_eq!(
+                        rv.dims(),
+                        &[n, k],
+                        "group_matmul_nt: group {b} rhs shape mismatch"
+                    );
+                    kernels::matmul_nt_into(
+                        &xv.data()[off * k..(off + r) * k],
+                        rv.data(),
+                        &mut out[off * n..(off + r) * n],
+                        r,
+                        k,
+                        n,
+                    );
+                    off += r;
+                }
+                Tensor::from_vec(&[total, n], out).expect("group_matmul_nt shape")
+            },
+            &vars,
+        );
+        self.push(
+            out,
+            Op::GroupMatmulNT(x, rhses.to_vec(), group_wins.to_vec(), block_rows),
+        )
+    }
+
+    /// Each group's own `[c]` row added to every row of that group's
+    /// block of `m: [Σ wins·rows, c]`. The grouped twin of
+    /// `batched_add_row_broadcast`.
+    ///
+    /// # Panics
+    /// Panics on length/shape mismatches (see [`Tape::group_linear_blocks`]).
+    pub fn group_add_row_broadcast(
+        &self,
+        m: Var,
+        rows: &[Var],
+        group_wins: &[usize],
+        block_rows: usize,
+    ) -> Var {
+        let total = group_rows_check("group_add_row_broadcast", rows.len(), group_wins, block_rows);
+        let mut vars = Vec::with_capacity(1 + rows.len());
+        vars.push(m);
+        vars.extend_from_slice(rows);
+        let out = self.compute(
+            |v| {
+                let mv = v[0];
+                let c = mv.dims()[1];
+                assert_eq!(
+                    total,
+                    mv.dims()[0],
+                    "group_add_row_broadcast: group rows must sum to the stacked row count {}",
+                    mv.dims()[0]
+                );
+                let mut out = pool::take_uninit(total * c);
+                out.copy_from_slice(mv.data());
+                let mut off = 0usize;
+                for (b, &wins) in group_wins.iter().enumerate() {
+                    let r = wins * block_rows;
+                    let rv = v[1 + b];
+                    assert_eq!(
+                        rv.len(),
+                        c,
+                        "group_add_row_broadcast: group {b} row length mismatch"
+                    );
+                    let row = rv.data();
+                    for chunk in out[off * c..(off + r) * c].chunks_exact_mut(c) {
+                        for (o, &a) in chunk.iter_mut().zip(row) {
+                            *o += a;
+                        }
+                    }
+                    off += r;
+                }
+                Tensor::from_vec(mv.dims(), out).expect("group_add_row_broadcast shape")
+            },
+            &vars,
+        );
+        self.push(
+            out,
+            Op::GroupAddRow(m, rows.to_vec(), group_wins.to_vec(), block_rows),
+        )
+    }
+
+    /// Per-group block-lhs product: group `b`'s own `lhs_b: [p, q]`
+    /// (a per-individual graph constant or derived adjacency) times
+    /// each `[q, n]` window block of its slice of `x: [Σ wins·q, n]`,
+    /// producing `[Σ wins·p, n]`. The grouped twin of
+    /// `block_lhs_matmul`; all groups must share the lhs shape.
+    ///
+    /// # Panics
+    /// Panics on length/shape mismatches (see [`Tape::group_linear_blocks`]).
+    pub fn group_block_lhs_matmul(&self, lhses: &[Var], x: Var, group_wins: &[usize]) -> Var {
+        let total_wins =
+            group_rows_check("group_block_lhs_matmul", lhses.len(), group_wins, 1);
+        let mut vars = Vec::with_capacity(1 + lhses.len());
+        vars.extend_from_slice(lhses);
+        vars.push(x);
+        let out = self.compute(
+            |v| {
+                let xv = v[lhses.len()];
+                let n = xv.dims()[1];
+                let (p, q) = (v[0].dims()[0], v[0].dims()[1]);
+                assert_eq!(
+                    xv.dims()[0],
+                    total_wins * q,
+                    "group_block_lhs_matmul: x rows must be Σ wins ({total_wins}) x lhs cols ({q})"
+                );
+                let mut out = pool::take_uninit(total_wins * p * n);
+                let (mut xoff, mut goff) = (0usize, 0usize);
+                for (b, &wins) in group_wins.iter().enumerate() {
+                    let lv = v[b];
+                    assert_eq!(
+                        lv.dims(),
+                        &[p, q],
+                        "group_block_lhs_matmul: group {b} lhs shape mismatch"
+                    );
+                    // Same gather → one matmul → scatter as the shared
+                    // op, restricted to this group's window span, so
+                    // each window block is bit-identical to the
+                    // per-individual `block_lhs_matmul`.
+                    let xhat =
+                        gather_window_cols(&xv.data()[xoff * n..(xoff + wins * q) * n], wins, q, n);
+                    let mut yhat = pool::take_uninit(p * wins * n);
+                    kernels::matmul_into(lv.data(), &xhat, &mut yhat, p, q, wins * n);
+                    pool::recycle(xhat);
+                    let y = scatter_window_cols(&yhat, wins, p, n);
+                    pool::recycle(yhat);
+                    out[goff * n..(goff + wins * p) * n].copy_from_slice(&y);
+                    pool::recycle(y);
+                    xoff += wins * q;
+                    goff += wins * p;
+                }
+                Tensor::from_vec(&[total_wins * p, n], out).expect("group_block_lhs_matmul shape")
+            },
+            &vars,
+        );
+        self.push(
+            out,
+            Op::GroupBlockLhsMatmul(lhses.to_vec(), x, group_wins.to_vec()),
+        )
     }
 }
 
@@ -205,6 +499,226 @@ mod tests {
         }
     }
 
+    /// Shared scaffolding for the per-op bit-identity tests below: runs
+    /// the cohort graph built by `grouped` over a `[Σ wins·rows, k]`
+    /// stack with per-group pairwise-added mse-style losses, and for
+    /// each group a standalone reference graph built by `reference`
+    /// over just that group's rows, then asserts forward rows, per-rhs
+    /// gradients, and dx rows match bit for bit.
+    fn assert_grouped_matches_oracle(
+        wins: &[usize],
+        block_rows: usize,
+        k: usize,
+        rhs_tensors: &[Tensor],
+        grouped: impl Fn(&Tape, Var, &[Var]) -> Var,
+        reference: impl Fn(&Tape, Var, Var, usize) -> Var,
+    ) {
+        let total: usize = wins.iter().sum::<usize>() * block_rows;
+        let xv = rand(&[total, k], 1);
+
+        let tape = Tape::new();
+        let x = tape.leaf(xv.clone());
+        let rhses: Vec<Var> = rhs_tensors.iter().map(|t| tape.leaf(t.clone())).collect();
+        let y = grouped(&tape, x, &rhses);
+        let o = tape.value(y).dims()[1];
+        let mut off = 0;
+        let mut total_loss = None;
+        for &wb in wins {
+            let r = wb * block_rows;
+            let y_b = tape.slice_rows(y, off, off + r);
+            let l_b = tape.mean_all(tape.square(y_b));
+            total_loss = Some(match total_loss {
+                None => l_b,
+                Some(acc) => tape.add(acc, l_b),
+            });
+            off += r;
+        }
+        let grads = tape.backward(total_loss.unwrap());
+
+        let mut off = 0;
+        for (b, &wb) in wins.iter().enumerate() {
+            let r = wb * block_rows;
+            let ref_tape = Tape::new();
+            let rx = ref_tape.leaf(xv.slice_rows(off, off + r));
+            let rrhs = ref_tape.leaf(rhs_tensors[b].clone());
+            let ry = reference(&ref_tape, rx, rrhs, wb);
+            let rloss = ref_tape.mean_all(ref_tape.square(ry));
+            let rgrads = ref_tape.backward(rloss);
+
+            assert_eq!(
+                &tape.value(y).data()[off * o..(off + r) * o],
+                ref_tape.value(ry).data(),
+                "group {b} forward rows"
+            );
+            assert_eq!(
+                grads.get(rhses[b]).unwrap().data(),
+                rgrads.get(rrhs).unwrap().data(),
+                "group {b} rhs grad"
+            );
+            assert_eq!(
+                &grads.get(x).unwrap().data()[off * k..(off + r) * k],
+                rgrads.get(rx).unwrap().data(),
+                "group {b} input grad rows"
+            );
+            off += r;
+        }
+    }
+
+    /// `group_matmul` must match B separate `batched_matmul` graphs —
+    /// per-individual rhs constants/parameters over node-level blocks.
+    #[test]
+    fn group_matmul_matches_per_individual_graphs() {
+        let wins = [2usize, 1, 3];
+        let (block_rows, k, n) = (2usize, 4usize, 3usize);
+        let rhses: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[k, n], 50 + b as u64)).collect();
+        assert_grouped_matches_oracle(
+            &wins,
+            block_rows,
+            k,
+            &rhses,
+            |tape, x, rv| tape.group_matmul(x, rv, &wins, block_rows),
+            |tape, rx, rrhs, wb| tape.batched_matmul(rx, rrhs, wb),
+        );
+    }
+
+    /// `group_matmul_grouped` must match `batched_matmul_grouped`
+    /// graphs, including the window-grouped replay of the rhs pieces.
+    #[test]
+    fn group_matmul_grouped_matches_per_individual_graphs() {
+        let wins = [3usize, 2];
+        let (block_rows, k, n) = (1usize, 5usize, 1usize);
+        let rhses: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[k, n], 60 + b as u64)).collect();
+        assert_grouped_matches_oracle(
+            &wins,
+            block_rows,
+            k,
+            &rhses,
+            |tape, x, rv| tape.group_matmul_grouped(x, rv, &wins, block_rows),
+            |tape, rx, rrhs, wb| tape.batched_matmul_grouped(rx, rrhs, wb),
+        );
+    }
+
+    /// `group_matmul_nt` must match B separate `batched_matmul_nt`
+    /// graphs.
+    #[test]
+    fn group_matmul_nt_matches_per_individual_graphs() {
+        let wins = [1usize, 4, 2];
+        let (block_rows, k, n) = (3usize, 2usize, 4usize);
+        let rhses: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[n, k], 70 + b as u64)).collect();
+        assert_grouped_matches_oracle(
+            &wins,
+            block_rows,
+            k,
+            &rhses,
+            |tape, x, rv| tape.group_matmul_nt(x, rv, &wins, block_rows),
+            |tape, rx, rrhs, wb| tape.batched_matmul_nt(rx, rrhs, wb),
+        );
+    }
+
+    /// `group_add_row_broadcast` must match B separate
+    /// `batched_add_row_broadcast` graphs.
+    #[test]
+    fn group_add_row_broadcast_matches_per_individual_graphs() {
+        let wins = [2usize, 3];
+        let (block_rows, c) = (2usize, 5usize);
+        let rows: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[c], 80 + b as u64)).collect();
+        assert_grouped_matches_oracle(
+            &wins,
+            block_rows,
+            c,
+            &rows,
+            |tape, x, rv| tape.group_add_row_broadcast(x, rv, &wins, block_rows),
+            |tape, rx, rrow, wb| tape.batched_add_row_broadcast(rx, rrow, wb),
+        );
+    }
+
+    /// `group_block_lhs_matmul` must match B separate `block_lhs_matmul`
+    /// graphs — each individual propagating through its *own* graph
+    /// constant (the op individual graphs actually break sharing on).
+    #[test]
+    fn group_block_lhs_matmul_matches_per_individual_graphs() {
+        let wins = [3usize, 1, 2];
+        let (q, n) = (4usize, 2usize);
+        // Square lhs (p == q) so chained use keeps row geometry simple.
+        let lhses: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[q, q], 90 + b as u64)).collect();
+        assert_grouped_matches_oracle(
+            &wins,
+            q,
+            n,
+            &lhses,
+            |tape, x, lv| tape.group_block_lhs_matmul(lv, x, &wins),
+            |tape, rx, rlhs, wb| tape.block_lhs_matmul(rlhs, rx, wb),
+        );
+    }
+
+    /// `group_linear_blocks` at `block_rows > 1` must match B separate
+    /// `batched_linear` graphs over node-level row blocks.
+    #[test]
+    fn group_linear_blocks_matches_per_individual_graphs() {
+        let wins = [2usize, 3, 1];
+        let (block_rows, k, o) = (3usize, 4usize, 2usize);
+        let total: usize = wins.iter().sum::<usize>() * block_rows;
+        let xv = rand(&[total, k], 2);
+        let ws: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[o, k], 110 + b as u64)).collect();
+        let bs: Vec<Tensor> = (0..wins.len()).map(|b| rand(&[o], 120 + b as u64)).collect();
+
+        let tape = Tape::new();
+        let x = tape.leaf(xv.clone());
+        let params: Vec<(Var, Var)> = ws
+            .iter()
+            .zip(&bs)
+            .map(|(w, b)| (tape.leaf(w.clone()), tape.leaf(b.clone())))
+            .collect();
+        let y = tape.group_linear_blocks(x, &params, &wins, block_rows);
+        let mut off = 0;
+        let mut total_loss = None;
+        for &wb in &wins {
+            let r = wb * block_rows;
+            let l_b = tape.mean_all(tape.square(tape.slice_rows(y, off, off + r)));
+            total_loss = Some(match total_loss {
+                None => l_b,
+                Some(acc) => tape.add(acc, l_b),
+            });
+            off += r;
+        }
+        let grads = tape.backward(total_loss.unwrap());
+
+        let mut off = 0;
+        for (b, &wb) in wins.iter().enumerate() {
+            let r = wb * block_rows;
+            let ref_tape = Tape::new();
+            let rx = ref_tape.leaf(xv.slice_rows(off, off + r));
+            let rw = ref_tape.leaf(ws[b].clone());
+            let rb = ref_tape.leaf(bs[b].clone());
+            let ry = ref_tape.batched_linear(rx, rw, rb, wb);
+            let rloss = ref_tape.mean_all(ref_tape.square(ry));
+            let rgrads = ref_tape.backward(rloss);
+
+            let (w, bias) = params[b];
+            assert_eq!(
+                &tape.value(y).data()[off * o..(off + r) * o],
+                ref_tape.value(ry).data(),
+                "group {b} forward rows"
+            );
+            assert_eq!(
+                grads.get(w).unwrap().data(),
+                rgrads.get(rw).unwrap().data(),
+                "group {b} weight grad"
+            );
+            assert_eq!(
+                grads.get(bias).unwrap().data(),
+                rgrads.get(rb).unwrap().data(),
+                "group {b} bias grad"
+            );
+            assert_eq!(
+                &grads.get(x).unwrap().data()[off * k..(off + r) * k],
+                rgrads.get(rx).unwrap().data(),
+                "group {b} input grad rows"
+            );
+            off += r;
+        }
+    }
+
     #[test]
     #[should_panic(expected = "group rows must sum")]
     fn group_linear_rejects_bad_row_split() {
@@ -213,6 +727,16 @@ mod tests {
         let w = tape.leaf(rand(&[2, 3], 2));
         let b = tape.leaf(rand(&[2], 3));
         let _ = tape.group_linear(x, &[(w, b)], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs shape mismatch")]
+    fn group_block_lhs_matmul_rejects_mismatched_lhs_shapes() {
+        let tape = Tape::new();
+        let x = tape.leaf(rand(&[10, 2], 1));
+        let l0 = tape.leaf(rand(&[2, 2], 2));
+        let l1 = tape.leaf(rand(&[3, 3], 3));
+        let _ = tape.group_block_lhs_matmul(&[l0, l1], x, &[2, 3]);
     }
 
     #[test]

@@ -814,3 +814,186 @@ fn grad_group_linear_all_parents() {
         });
     }
 }
+
+#[test]
+fn grad_group_linear_blocks_all_parents() {
+    // Mixed group sizes with multi-row window blocks (wins 2 + 1 + 3,
+    // block_rows 2): the graph-model layout.
+    let wins = [2usize, 1, 3];
+    let x = rand(&[12, 3], 110);
+    let ws: Vec<Tensor> = (0..3).map(|b| rand(&[4, 3], 111 + b)).collect();
+    let bs: Vec<Tensor> = (0..3).map(|b| rand(&[4], 114 + b)).collect();
+    let build = |t: &Tape, xv, ws: &[Tensor], bs: &[Tensor], swap: Option<(usize, bool, ema_autodiff::Var)>| {
+        let params: Vec<(ema_autodiff::Var, ema_autodiff::Var)> = ws
+            .iter()
+            .zip(bs)
+            .enumerate()
+            .map(|(g, (w, b))| match swap {
+                Some((sg, is_bias, v)) if sg == g => {
+                    if is_bias {
+                        (t.leaf(w.clone()), v)
+                    } else {
+                        (v, t.leaf(b.clone()))
+                    }
+                }
+                _ => (t.leaf(w.clone()), t.leaf(b.clone())),
+            })
+            .collect();
+        let y = t.group_linear_blocks(xv, &params, &wins, 2);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&x, TOL, |t, v| build(t, v, &ws, &bs, None));
+    for g in 0..3 {
+        assert_gradients_close(&ws[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &ws, &bs, Some((g, false, v)))
+        });
+        assert_gradients_close(&bs[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &ws, &bs, Some((g, true, v)))
+        });
+    }
+}
+
+#[test]
+fn grad_group_matmul_all_parents() {
+    // wins 2 + 1 + 3, block_rows 2 → 12 stacked rows; per-group [3, 4]
+    // right-hand sides.
+    let wins = [2usize, 1, 3];
+    let x = rand(&[12, 3], 120);
+    let rs: Vec<Tensor> = (0..3).map(|b| rand(&[3, 4], 121 + b)).collect();
+    let build = |t: &Tape, xv, rs: &[Tensor], swap: Option<(usize, ema_autodiff::Var)>| {
+        let rhses: Vec<ema_autodiff::Var> = rs
+            .iter()
+            .enumerate()
+            .map(|(g, r)| match swap {
+                Some((sg, v)) if sg == g => v,
+                _ => t.leaf(r.clone()),
+            })
+            .collect();
+        let y = t.group_matmul(xv, &rhses, &wins, 2);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&x, TOL, |t, v| build(t, v, &rs, None));
+    for g in 0..3 {
+        assert_gradients_close(&rs[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &rs, Some((g, v)))
+        });
+    }
+}
+
+#[test]
+fn grad_group_matmul_grouped_all_parents() {
+    // The grouped-replay variant (attention score layout: n = 1).
+    let wins = [3usize, 2];
+    let x = rand(&[5, 4], 130);
+    let rs: Vec<Tensor> = (0..2).map(|b| rand(&[4, 1], 131 + b)).collect();
+    let build = |t: &Tape, xv, rs: &[Tensor], swap: Option<(usize, ema_autodiff::Var)>| {
+        let rhses: Vec<ema_autodiff::Var> = rs
+            .iter()
+            .enumerate()
+            .map(|(g, r)| match swap {
+                Some((sg, v)) if sg == g => v,
+                _ => t.leaf(r.clone()),
+            })
+            .collect();
+        let y = t.group_matmul_grouped(xv, &rhses, &wins, 1);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&x, TOL, |t, v| build(t, v, &rs, None));
+    for g in 0..2 {
+        assert_gradients_close(&rs[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &rs, Some((g, v)))
+        });
+    }
+}
+
+#[test]
+fn grad_group_matmul_nt_all_parents() {
+    // wins 1 + 4 + 2, block_rows 3; per-group transposed [4, 2] weights.
+    let wins = [1usize, 4, 2];
+    let x = rand(&[21, 2], 140);
+    let rs: Vec<Tensor> = (0..3).map(|b| rand(&[4, 2], 141 + b)).collect();
+    let build = |t: &Tape, xv, rs: &[Tensor], swap: Option<(usize, ema_autodiff::Var)>| {
+        let rhses: Vec<ema_autodiff::Var> = rs
+            .iter()
+            .enumerate()
+            .map(|(g, r)| match swap {
+                Some((sg, v)) if sg == g => v,
+                _ => t.leaf(r.clone()),
+            })
+            .collect();
+        let y = t.group_matmul_nt(xv, &rhses, &wins, 3);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&x, TOL, |t, v| build(t, v, &rs, None));
+    for g in 0..3 {
+        assert_gradients_close(&rs[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &rs, Some((g, v)))
+        });
+    }
+}
+
+#[test]
+fn grad_group_add_row_broadcast_all_parents() {
+    // wins 2 + 3, block_rows 2 → 10 stacked rows; per-group [5] rows.
+    let wins = [2usize, 3];
+    let m = rand(&[10, 5], 150);
+    let rs: Vec<Tensor> = (0..2).map(|b| rand(&[5], 151 + b)).collect();
+    let build = |t: &Tape, mv, rs: &[Tensor], swap: Option<(usize, ema_autodiff::Var)>| {
+        let rows: Vec<ema_autodiff::Var> = rs
+            .iter()
+            .enumerate()
+            .map(|(g, r)| match swap {
+                Some((sg, v)) if sg == g => v,
+                _ => t.leaf(r.clone()),
+            })
+            .collect();
+        let y = t.group_add_row_broadcast(mv, &rows, &wins, 2);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&m, TOL, |t, v| build(t, v, &rs, None));
+    for g in 0..2 {
+        assert_gradients_close(&rs[g], TOL, |t, v| {
+            let ml = t.leaf(m.clone());
+            build(t, ml, &rs, Some((g, v)))
+        });
+    }
+}
+
+#[test]
+fn grad_group_block_lhs_matmul_all_parents() {
+    // wins 3 + 1 + 2 with rectangular [2, 3] per-group lhs matrices:
+    // x is [Σ wins·3, 2] and the output [Σ wins·2, 2].
+    let wins = [3usize, 1, 2];
+    let x = rand(&[18, 2], 160);
+    let ls: Vec<Tensor> = (0..3).map(|b| rand(&[2, 3], 161 + b)).collect();
+    let build = |t: &Tape, xv, ls: &[Tensor], swap: Option<(usize, ema_autodiff::Var)>| {
+        let lhses: Vec<ema_autodiff::Var> = ls
+            .iter()
+            .enumerate()
+            .map(|(g, l)| match swap {
+                Some((sg, v)) if sg == g => v,
+                _ => t.leaf(l.clone()),
+            })
+            .collect();
+        let y = t.group_block_lhs_matmul(&lhses, xv, &wins);
+        let sq = t.square(y);
+        t.sum_all(sq)
+    };
+    assert_gradients_close(&x, TOL, |t, v| build(t, v, &ls, None));
+    for g in 0..3 {
+        assert_gradients_close(&ls[g], TOL, |t, v| {
+            let xl = t.leaf(x.clone());
+            build(t, xl, &ls, Some((g, v)))
+        });
+    }
+}

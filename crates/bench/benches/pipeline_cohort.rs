@@ -78,5 +78,49 @@ fn main() {
         });
     }
 
+    // Graph-model streams at the same study scale: the grouped
+    // graph-conv/attention ops put a whole shard's A3TGCN/MTGNN
+    // forward on one tape graph per epoch, gated here against the
+    // per-individual oracle path (bit-identical results, fewer graphs).
+    // Each individual builds its own training-split correlation graph
+    // on the worker that generates its shard, so `peak_bytes` stays
+    // bounded by (workers × shard) exactly as in the LSTM stream.
+    let graph = GraphSpec::Static {
+        metric: ema_similarity::GraphMetric::Correlation,
+        gdt: ema_graph::sparsify::DensityThreshold::Gdt40,
+    };
+    // Graph-model tape graphs hold far more live intermediates per
+    // window than the LSTM's, so a 64-individual shard's backward
+    // working set falls out of cache and the grouped-op win inverts;
+    // shard 8 is the measured sweet spot (64/16/8/4 swept). Shard size
+    // never changes a byte of the results (the determinism grid), so
+    // this is a pure throughput knob.
+    let graph_shard: usize = std::env::var("EMA_BENCH_GRAPH_SHARD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    for (model, label) in [(ModelKind::A3tgcn, "a3tgcn"), (ModelKind::Mtgnn, "mtgnn")] {
+        let mut model_spec = ExperimentScale::tiny().spec(model, graph.clone(), 2);
+        model_spec.model_config = ModelConfig::tiny(0);
+        // Graph forwards cost ~an order of magnitude more than the
+        // LSTM's, so halve the epochs to keep one full stream inside a
+        // bench sample.
+        model_spec.train_config = TrainConfig::quick(2, 7);
+        for (path, suffix) in [
+            (CohortPath::Batched, "batched"),
+            (CohortPath::PerIndividual, "per_individual"),
+        ] {
+            let mut spec = model_spec.clone();
+            spec.cohort_path = path;
+            harness.bench_function(&format!("cohort_stream_10k_{label}_{suffix}"), |b| {
+                b.items(STREAM_N as f64);
+                b.samples(2);
+                b.iter(|| {
+                    black_box(run_cohort_sharded(&generator, &spec, graph_shard, &executor))
+                });
+            });
+        }
+    }
+
     harness.finish();
 }

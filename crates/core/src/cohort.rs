@@ -34,8 +34,10 @@ use crate::pipeline::{graph_for_individual, run_individual, GraphSpec, Individua
 use crate::train::{TrainConfig, TrainReport};
 use ema_autodiff::{Grads, Tape};
 use ema_data::{make_test_windows, make_windows, split_train_test, EmaGenerator, Individual, WindowedData};
+use ema_graph::AdjacencyMatrix;
 use ema_models::{
-    CohortBatch, CohortCtx, CohortForecaster, LstmForecaster, ModelKind, WindowBatch,
+    A3tgcn, Astgcn, CohortBatch, CohortCtx, CohortForecaster, LstmForecaster, ModelKind, Mtgnn,
+    WindowBatch,
 };
 use ema_nn::{global_grad_norm, Adam, Binding, Optimizer, OptimizerConfig};
 use ema_obs::metrics::{EPOCH_BUCKETS, GRAD_NORM_BUCKETS, LOSS_BUCKETS};
@@ -49,8 +51,9 @@ use ema_tensor::Rng64;
 pub enum CohortPath {
     /// One tape graph per shard of B individuals via
     /// [`CohortForecaster::predict_cohort`] — the hot path and the
-    /// default for models that implement it (currently LSTM; other
-    /// models fall back to the per-individual path).
+    /// default for models that implement it (LSTM, A3TGCN, ASTGCN and
+    /// MTGNN; see [`cohort_batch_supported`]; other models fall back to
+    /// the per-individual path and emit a `cohort_fallback` obs point).
     #[default]
     Batched,
     /// One [`run_individual`] call per individual — the reference
@@ -237,22 +240,77 @@ pub fn train_cohort<M: CohortForecaster>(
     reports.into_iter().map(|r| r.expect("every individual finalized")).collect()
 }
 
-/// Runs one shard of individuals through the cohort-batched LSTM path:
+/// True when [`run_cohort_batch`] has a cohort-batched forward for this
+/// model kind. Everything that trains by gradient descent does (LSTM,
+/// A3TGCN, ASTGCN, MTGNN); the closed-form VAR baseline does not.
+#[must_use]
+pub fn cohort_batch_supported(model: ModelKind) -> bool {
+    !matches!(model, ModelKind::Var)
+}
+
+/// Runs one shard of individuals through the cohort-batched path:
 /// per-individual split → graph → windows (as [`run_individual`] does),
 /// then one [`train_cohort`] call for the whole shard, then
 /// per-individual evaluation. Outcomes are bit-identical to
 /// [`run_individual`] on each member.
 ///
 /// # Panics
-/// Panics when the spec's model is not LSTM (no cohort forward), or on
-/// the same data inconsistencies as [`run_individual`].
+/// Panics when the spec's model has no cohort forward (see
+/// [`cohort_batch_supported`]), or on the same data inconsistencies as
+/// [`run_individual`].
 #[must_use]
 pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<IndividualOutcome> {
-    assert_eq!(
-        spec.model,
-        ModelKind::Lstm,
-        "cohort-batched training currently implements LSTM only"
+    assert!(
+        cohort_batch_supported(spec.model),
+        "no cohort-batched forward for {}",
+        spec.model.label()
     );
+    match spec.model {
+        ModelKind::Lstm => run_cohort_batch_as(individuals, spec, |v, _graph| {
+            LstmForecaster::new(v, &spec.model_config)
+        }),
+        ModelKind::A3tgcn => run_cohort_batch_as(individuals, spec, |v, graph| {
+            A3tgcn::with_options(
+                v,
+                graph.expect("A3TGCN requires a graph"),
+                &spec.model_config,
+                spec.use_attention,
+            )
+        }),
+        ModelKind::Astgcn => run_cohort_batch_as(individuals, spec, |v, graph| {
+            Astgcn::with_options(
+                v,
+                spec.seq_len,
+                graph.expect("ASTGCN requires a graph"),
+                &spec.model_config,
+                spec.use_spatial_attention,
+            )
+        }),
+        ModelKind::Mtgnn => run_cohort_batch_as(individuals, spec, |v, graph| {
+            Mtgnn::with_learner(
+                v,
+                spec.seq_len,
+                graph,
+                &spec.model_config,
+                spec.learn_graph,
+                spec.graph_learner,
+            )
+        }),
+        ModelKind::Var => unreachable!("gated by cohort_batch_supported"),
+    }
+}
+
+/// The typed body of [`run_cohort_batch`]: `build` constructs each
+/// individual's model exactly as [`run_individual`] would.
+fn run_cohort_batch_as<M, F>(
+    individuals: &[Individual],
+    spec: &RunSpec,
+    build: F,
+) -> Vec<IndividualOutcome>
+where
+    M: CohortForecaster,
+    F: Fn(usize, Option<&AdjacencyMatrix>) -> M,
+{
     assert!(!individuals.is_empty(), "empty shard");
     let _kernel = spec.train_config.kernel_backend.scoped();
     let mut models = Vec::with_capacity(individuals.len());
@@ -263,8 +321,8 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
     for ind in individuals {
         let (train, test) = split_train_test(&ind.data, spec.train_fraction);
         let v = ind.data.dims()[1];
-        // Graph built from training data only — recorded in the
-        // outcome even though the LSTM itself ignores it.
+        // Graph built from training data only — recorded in the outcome
+        // even for models (LSTM) that ignore it.
         let graph = match &spec.graph {
             GraphSpec::None => None,
             GraphSpec::Static { metric, gdt } => {
@@ -272,7 +330,7 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
             }
             GraphSpec::Provided(g) => Some(g.clone()),
         };
-        models.push(LstmForecaster::new(v, &spec.model_config));
+        models.push(build(v, graph.as_ref()));
         train_windows.push(make_windows(&train, spec.seq_len));
         test_windows.push(make_test_windows(&train, &test, spec.seq_len));
         let mut config = spec.train_config;
@@ -294,6 +352,16 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
         .zip(graphs)
         .map(|((((ind, model), test), report), graph)| {
             let _eval_span = span!("evaluate", individual = ind.id, windows = test.len());
+            // Extract the learned graph from MTGNN for Experiment C,
+            // exactly as `run_individual` does.
+            let learned_graph = if spec.model == ModelKind::Mtgnn && spec.learn_graph {
+                let concrete = model
+                    .as_any_mtgnn()
+                    .expect("MTGNN model exposes its learned graph");
+                Some(concrete.learned_graph())
+            } else {
+                None
+            };
             let outcome = IndividualOutcome {
                 id: ind.id,
                 mse: evaluate_mse(model, test),
@@ -301,7 +369,7 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
                 final_train_loss: report.final_loss(),
                 epochs_run: report.epochs_run,
                 graph_used: graph,
-                learned_graph: None,
+                learned_graph,
             };
             ema_obs::drain_kernel_counters();
             outcome
@@ -312,7 +380,9 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
 /// Streams a synthetic study through the executor in shards of
 /// `shard_size` individuals. Each shard becomes one [`Job`] that
 /// generates its slice of the study on the worker, runs it down the
-/// spec's [`CohortPath`] (batched for LSTM, per-individual otherwise),
+/// spec's [`CohortPath`] (batched where [`cohort_batch_supported`],
+/// per-individual otherwise — the fallback emits a `cohort_fallback`
+/// obs point and bumps the `exec.cohort_fallbacks` counter),
 /// and returns its outcomes; per-shard memory is dropped when the job
 /// ends, and warm pool buffers are handed across jobs by the executor.
 ///
@@ -339,7 +409,13 @@ pub fn run_cohort_sharded(
         shard_size = shard_size,
         threads = executor.threads()
     );
-    let batched = spec.cohort_path == CohortPath::Batched && spec.model == ModelKind::Lstm;
+    let batched = spec.cohort_path == CohortPath::Batched && cohort_batch_supported(spec.model);
+    if spec.cohort_path == CohortPath::Batched && !batched {
+        // The hot path was requested but this model has no cohort
+        // forward: make the silent downgrade visible.
+        point!("cohort_fallback", model = spec.model.label());
+        ema_obs::recorder().inc_counter("exec.cohort_fallbacks", 1);
+    }
     let jobs: Vec<Job<'_, Vec<IndividualOutcome>>> = (0..n)
         .step_by(shard_size)
         .map(|start| {
@@ -473,13 +549,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "LSTM only")]
-    fn run_cohort_batch_rejects_graph_models() {
+    #[should_panic(expected = "no cohort-batched forward")]
+    fn run_cohort_batch_rejects_var() {
         let ds = generator().generate();
         let spec = RunSpec {
             model_config: ModelConfig::tiny(0),
-            ..RunSpec::new(ModelKind::Mtgnn, GraphSpec::None, 2)
+            ..RunSpec::new(ModelKind::Var, GraphSpec::None, 2)
         };
         let _ = run_cohort_batch(&ds.individuals[..1], &spec);
+    }
+
+    /// Every graph model's cohort-batched shard must reproduce
+    /// `run_individual` on each member bit for bit — MSEs, losses,
+    /// epoch counts, and MTGNN's learned graph.
+    #[test]
+    fn graph_model_cohort_batch_matches_run_individual() {
+        let ds = generator().generate();
+        for model in [ModelKind::A3tgcn, ModelKind::Astgcn, ModelKind::Mtgnn] {
+            let spec = RunSpec {
+                model_config: ModelConfig::tiny(0),
+                train_config: TrainConfig::quick(6, 3),
+                ..RunSpec::new(
+                    model,
+                    GraphSpec::Static {
+                        metric: ema_similarity::GraphMetric::Correlation,
+                        gdt: ema_graph::sparsify::DensityThreshold::Gdt40,
+                    },
+                    2,
+                )
+            };
+            let got = run_cohort_batch(&ds.individuals, &spec);
+            for (o, ind) in got.iter().zip(&ds.individuals) {
+                let want = run_individual(ind.id, &ind.data, &spec);
+                assert_eq!(o.mse, want.mse, "{model:?} individual {} mse", ind.id);
+                assert_eq!(
+                    o.per_variable_mse, want.per_variable_mse,
+                    "{model:?} individual {} per-variable mse",
+                    ind.id
+                );
+                assert_eq!(
+                    o.final_train_loss, want.final_train_loss,
+                    "{model:?} individual {} final loss",
+                    ind.id
+                );
+                assert_eq!(o.epochs_run, want.epochs_run, "{model:?} individual {}", ind.id);
+                assert_eq!(
+                    o.learned_graph.as_ref().map(|g| g.weights().data().to_vec()),
+                    want.learned_graph.as_ref().map(|g| g.weights().data().to_vec()),
+                    "{model:?} individual {} learned graph",
+                    ind.id
+                );
+            }
+        }
     }
 }

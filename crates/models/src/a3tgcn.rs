@@ -6,7 +6,8 @@
 //! attention module pools the hidden states into a context that a
 //! per-node head maps to the 1-lag prediction.
 
-use crate::gcn::{gcn_layer, gcn_layer_batched};
+use crate::cohort::{cohort_dropout, CohortBatch, CohortCtx, CohortForecaster};
+use crate::gcn::{gcn_layer, gcn_layer_batched, gcn_layer_grouped};
 use crate::{Forecaster, ForwardCtx, ModelConfig, WindowBatch};
 use ema_autodiff::{Tape, Var};
 use ema_graph::{normalize, AdjacencyMatrix};
@@ -181,6 +182,50 @@ impl A3tgcn {
         let c_minus_uc = tape.sub(c, uc);
         tape.add(uh, c_minus_uc)
     }
+
+    /// [`A3tgcn::tgcn_step_batched`] over a cohort stack: each
+    /// individual's window blocks propagate through its *own* `a_hat`
+    /// and gate parameters via the grouped ops, in the exact batched op
+    /// order so every row block is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn tgcn_step_grouped(
+        group: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        a_hats: &[Var],
+        x: Var,
+        h: Var,
+        group_wins: &[usize],
+        v: usize,
+    ) -> Var {
+        let pairs = |f: &dyn Fn(&Self) -> (ParamId, ParamId)| -> Vec<(Var, Var)> {
+            group
+                .iter()
+                .zip(bindings)
+                .map(|(m, bind)| {
+                    let (w, b) = f(m);
+                    (bind.var(w), bind.var(b))
+                })
+                .collect()
+        };
+        let xh = tape.hcat(x, h); // [Σ W_b·V, 1 + H]
+        let xh_prop = tape.group_block_lhs_matmul(a_hats, xh, group_wins);
+        let update = pairs(&|m| (m.update.w, m.update.b));
+        let u_pre = tape.group_linear_blocks(xh_prop, &update, group_wins, v);
+        let u = tape.sigmoid(u_pre);
+        let reset = pairs(&|m| (m.reset.w, m.reset.b));
+        let r_pre = tape.group_linear_blocks(xh_prop, &reset, group_wins, v);
+        let r = tape.sigmoid(r_pre);
+        let rh = tape.mul(r, h);
+        let xrh = tape.hcat(x, rh);
+        let candidate = pairs(&|m| (m.candidate.w, m.candidate.b));
+        let c_pre = gcn_layer_grouped(tape, a_hats, xrh, &candidate, group_wins, v);
+        let c = tape.tanh(c_pre);
+        let uh = tape.mul(u, h);
+        let uc = tape.mul(u, c);
+        let c_minus_uc = tape.sub(c, uc);
+        tape.add(uh, c_minus_uc)
+    }
 }
 
 impl Forecaster for A3tgcn {
@@ -270,6 +315,71 @@ impl Forecaster for A3tgcn {
             wins,
         ); // [W·V, 1]
         tape.reshape(pred, &[wins, v])
+    }
+}
+
+impl CohortForecaster for A3tgcn {
+    fn predict_cohort(
+        group: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        batch: &CohortBatch,
+        ctx: &mut CohortCtx,
+    ) -> Var {
+        assert_eq!(group.len(), batch.num_groups(), "one window batch per model");
+        assert_eq!(group.len(), bindings.len(), "one binding per model");
+        let first = group[0];
+        for (b, model) in group.iter().enumerate() {
+            assert_eq!(
+                model.num_variables,
+                batch.num_vars(),
+                "individual {b}: batch has {} variables, model expects {}",
+                batch.num_vars(),
+                model.num_variables
+            );
+            assert_eq!(
+                model.hidden, first.hidden,
+                "individual {b}: cohort models must share the hidden width"
+            );
+            assert_eq!(
+                model.use_attention, first.use_attention,
+                "individual {b}: cohort models must agree on attention use"
+            );
+        }
+        let v = batch.num_vars();
+        let seq = batch.seq_len();
+        let group_wins = batch.group_wins();
+        let total = batch.total_rows();
+        // Per-individual propagation constants, in stack order — the
+        // grouped block-lhs op applies each to its own window blocks.
+        let a_hats: Vec<Var> = group.iter().map(|m| tape.leaf(m.a_hat.clone())).collect();
+        let mut h = tape.leaf(Tensor::zeros(&[total * v, first.hidden]));
+        let mut states = Vec::with_capacity(seq);
+        for t in 0..seq {
+            // Step t's [Σ W_b, V] rows reshape to the window-blocked
+            // [Σ W_b·V, 1] node-feature column, individual-major.
+            let x = tape.leaf(batch.step(t).reshaped(&[total * v, 1]));
+            h = Self::tgcn_step_grouped(group, tape, bindings, &a_hats, x, h, group_wins, v);
+            states.push(h);
+        }
+        let ctx_state = if first.use_attention {
+            let attns: Vec<&TemporalAttention> = group.iter().map(|m| &m.attention).collect();
+            TemporalAttention::forward_grouped(&attns, tape, bindings, &states, group_wins)
+        } else {
+            *states.last().expect("non-empty window")
+        };
+        // Each individual's [W_b·V, H] mask rows come from its own
+        // stream in the per-window (window-major) draw order.
+        let rates: Vec<f64> = group.iter().map(|m| m.dropout).collect();
+        let node_rows: Vec<usize> = group_wins.iter().map(|&w| w * v).collect();
+        let dropped = cohort_dropout(tape, ctx_state, &rates, &node_rows, ctx);
+        let heads: Vec<(Var, Var)> = group
+            .iter()
+            .zip(bindings)
+            .map(|(m, bind)| (bind.var(m.head_w), bind.var(m.head_b)))
+            .collect();
+        let pred = tape.group_linear_blocks(dropped, &heads, group_wins, v); // [Σ W_b·V, 1]
+        tape.reshape(pred, &[total, v])
     }
 }
 

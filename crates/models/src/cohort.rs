@@ -33,6 +33,12 @@ pub struct CohortBatch {
     /// `steps[t]` is `[Σ_b W_b, V]`: individual-major concatenation of
     /// each batch's window-major step rows.
     steps: Vec<Tensor>,
+    /// `[Σ_b W_b·s, V]`: individual-major concatenation of each batch's
+    /// window-stacked rows (`WindowBatch::stacked`).
+    stacked: Tensor,
+    /// `[Σ_b W_b·V, s]`: individual-major concatenation of each batch's
+    /// transposed window stacks (`WindowBatch::stacked_transposed`).
+    stacked_transposed: Tensor,
 }
 
 impl CohortBatch {
@@ -68,7 +74,25 @@ impl CohortBatch {
                 Tensor::from_vec(&[total, num_vars], data).expect("cohort step shape")
             })
             .collect();
-        Self { group_wins, offsets, seq_len, num_vars, steps }
+        let mut stacked = Vec::with_capacity(total * seq_len * num_vars);
+        let mut stacked_t = Vec::with_capacity(total * num_vars * seq_len);
+        for batch in batches {
+            stacked.extend_from_slice(batch.stacked().data());
+            stacked_t.extend_from_slice(batch.stacked_transposed().data());
+        }
+        let stacked = Tensor::from_vec(&[total * seq_len, num_vars], stacked)
+            .expect("cohort stacked shape");
+        let stacked_transposed = Tensor::from_vec(&[total * num_vars, seq_len], stacked_t)
+            .expect("cohort stacked_transposed shape");
+        Self {
+            group_wins,
+            offsets,
+            seq_len,
+            num_vars,
+            steps,
+            stacked,
+            stacked_transposed,
+        }
     }
 
     /// Number of individuals in the stack.
@@ -111,6 +135,20 @@ impl CohortBatch {
     #[must_use]
     pub fn step(&self, t: usize) -> &Tensor {
         &self.steps[t]
+    }
+
+    /// The whole cohort's window rows: `[Σ_b W_b·s, V]`,
+    /// individual-major concatenation of each `WindowBatch::stacked`.
+    #[must_use]
+    pub fn stacked(&self) -> &Tensor {
+        &self.stacked
+    }
+
+    /// Transposed window blocks: `[Σ_b W_b·V, s]`, individual-major
+    /// concatenation of each `WindowBatch::stacked_transposed`.
+    #[must_use]
+    pub fn stacked_transposed(&self) -> &Tensor {
+        &self.stacked_transposed
     }
 }
 
@@ -208,7 +246,8 @@ pub fn cohort_dropout(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ForwardCtx, LstmForecaster, ModelConfig};
+    use crate::{A3tgcn, Astgcn, ForwardCtx, LstmForecaster, ModelConfig, Mtgnn};
+    use ema_graph::AdjacencyMatrix;
 
     fn window_batch(wins: usize, seq: usize, v: usize, seed: u64) -> WindowBatch {
         let mut rng = Rng64::seed_from(seed);
@@ -216,6 +255,79 @@ mod tests {
             .map(|_| Tensor::rand_normal(&[seq, v], 0.0, 1.0, &mut rng))
             .collect();
         WindowBatch::from_windows(&windows)
+    }
+
+    /// A different graph per individual so grouped constants are
+    /// genuinely per-group: ring, complete, or path, by index.
+    fn graph_for(b: usize, n: usize) -> AdjacencyMatrix {
+        match b % 3 {
+            0 => {
+                let mut a = AdjacencyMatrix::empty(n);
+                for i in 0..n {
+                    let j = (i + 1) % n;
+                    a.set_weight(i, j, 1.0);
+                    a.set_weight(j, i, 1.0);
+                }
+                a
+            }
+            1 => AdjacencyMatrix::complete(n),
+            _ => {
+                let mut a = AdjacencyMatrix::empty(n);
+                for i in 0..n - 1 {
+                    a.set_weight(i, i + 1, 1.0);
+                    a.set_weight(i + 1, i, 1.0);
+                }
+                a
+            }
+        }
+    }
+
+    /// Asserts the cohort forward matches each individual's standalone
+    /// batched forward bit for bit — training mode (dropout active,
+    /// per-individual streams) and eval mode.
+    fn assert_cohort_matches_oracle<M: CohortForecaster>(
+        models: &[M],
+        wins: &[usize],
+        seq: usize,
+        v: usize,
+    ) {
+        for training in [true, false] {
+            let batches: Vec<WindowBatch> = wins
+                .iter()
+                .enumerate()
+                .map(|(b, &w)| window_batch(w, seq, v, 10 + b as u64))
+                .collect();
+            let batch_refs: Vec<&WindowBatch> = batches.iter().collect();
+            let cohort = CohortBatch::from_batches(&batch_refs);
+
+            let tape = Tape::new();
+            let bindings: Vec<Binding> = models.iter().map(|m| m.params().bind(&tape)).collect();
+            let binding_refs: Vec<&Binding> = bindings.iter().collect();
+            let group: Vec<&M> = models.iter().collect();
+            let mut rngs: Vec<Rng64> =
+                (0..wins.len()).map(|b| Rng64::seed_from(70 + b as u64)).collect();
+            let mut ctx = CohortCtx { training, rngs: &mut rngs };
+            let out = M::predict_cohort(&group, &tape, &binding_refs, &cohort, &mut ctx);
+            let out_value = tape.value(out);
+
+            for (b, model) in models.iter().enumerate() {
+                let reference = Tape::new();
+                let binding = model.params().bind(&reference);
+                let mut rng = Rng64::seed_from(70 + b as u64);
+                let mut rctx = if training {
+                    ForwardCtx::train(&mut rng)
+                } else {
+                    ForwardCtx::eval(&mut rng)
+                };
+                let rout = model.predict_batch(&reference, &binding, &batches[b], &mut rctx);
+                let (off, w) = (cohort.offset(b), wins[b]);
+                assert_eq!(
+                    &out_value.data()[off * v..(off + w) * v],
+                    reference.value(rout).data(),
+                    "individual {b} rows (training = {training})"
+                );
+            }
+        }
     }
 
     #[test]
@@ -244,54 +356,67 @@ mod tests {
         let _ = CohortBatch::from_batches(&[&b0, &b1]);
     }
 
-    /// The cohort forward must match each individual's standalone
-    /// batched forward bit for bit — training mode (dropout active,
-    /// per-individual streams) and eval mode.
     #[test]
     fn lstm_cohort_forward_matches_per_individual() {
-        let v = 4;
-        let seq = 3;
-        let wins = [3usize, 1, 4];
-        for training in [true, false] {
-            let models: Vec<LstmForecaster> = (0..wins.len())
-                .map(|b| LstmForecaster::new(v, &ModelConfig::tiny(100 + b as u64)))
-                .collect();
-            let batches: Vec<WindowBatch> = wins
-                .iter()
-                .enumerate()
-                .map(|(b, &w)| window_batch(w, seq, v, 10 + b as u64))
-                .collect();
-            let batch_refs: Vec<&WindowBatch> = batches.iter().collect();
-            let cohort = CohortBatch::from_batches(&batch_refs);
+        let (v, seq, wins) = (4, 3, [3usize, 1, 4]);
+        let models: Vec<LstmForecaster> = (0..wins.len())
+            .map(|b| LstmForecaster::new(v, &ModelConfig::tiny(100 + b as u64)))
+            .collect();
+        assert_cohort_matches_oracle(&models, &wins, seq, v);
+    }
 
-            let tape = Tape::new();
-            let bindings: Vec<Binding> = models.iter().map(|m| m.params().bind(&tape)).collect();
-            let binding_refs: Vec<&Binding> = bindings.iter().collect();
-            let group: Vec<&LstmForecaster> = models.iter().collect();
-            let mut rngs: Vec<Rng64> =
-                (0..wins.len()).map(|b| Rng64::seed_from(70 + b as u64)).collect();
-            let mut ctx = CohortCtx { training, rngs: &mut rngs };
-            let out =
-                LstmForecaster::predict_cohort(&group, &tape, &binding_refs, &cohort, &mut ctx);
-            let out_value = tape.value(out);
+    #[test]
+    fn a3tgcn_cohort_forward_matches_per_individual() {
+        let (v, seq, wins) = (4, 3, [3usize, 1, 4]);
+        let models: Vec<A3tgcn> = (0..wins.len())
+            .map(|b| {
+                A3tgcn::with_options(v, &graph_for(b, v), &ModelConfig::tiny(100 + b as u64), true)
+            })
+            .collect();
+        assert_cohort_matches_oracle(&models, &wins, seq, v);
+    }
 
-            for (b, model) in models.iter().enumerate() {
-                let reference = Tape::new();
-                let binding = model.params().bind(&reference);
-                let mut rng = Rng64::seed_from(70 + b as u64);
-                let mut rctx = if training {
-                    ForwardCtx::train(&mut rng)
-                } else {
-                    ForwardCtx::eval(&mut rng)
-                };
-                let rout = model.predict_batch(&reference, &binding, &batches[b], &mut rctx);
-                let (off, w) = (cohort.offset(b), wins[b]);
-                assert_eq!(
-                    &out_value.data()[off * v..(off + w) * v],
-                    reference.value(rout).data(),
-                    "individual {b} rows (training = {training})"
-                );
-            }
-        }
+    #[test]
+    fn a3tgcn_cohort_without_attention_matches_per_individual() {
+        let (v, seq, wins) = (3, 2, [2usize, 3]);
+        let models: Vec<A3tgcn> = (0..wins.len())
+            .map(|b| {
+                A3tgcn::with_options(v, &graph_for(b, v), &ModelConfig::tiny(200 + b as u64), false)
+            })
+            .collect();
+        assert_cohort_matches_oracle(&models, &wins, seq, v);
+    }
+
+    #[test]
+    fn astgcn_cohort_forward_matches_per_individual() {
+        let (v, seq, wins) = (4, 3, [3usize, 1, 4]);
+        let models: Vec<Astgcn> = (0..wins.len())
+            .map(|b| {
+                Astgcn::with_options(
+                    v,
+                    seq,
+                    &graph_for(b, v),
+                    &ModelConfig::tiny(100 + b as u64),
+                    true,
+                )
+            })
+            .collect();
+        assert_cohort_matches_oracle(&models, &wins, seq, v);
+    }
+
+    #[test]
+    fn mtgnn_cohort_forward_matches_per_individual() {
+        let (v, seq, wins) = (4, 3, [3usize, 1, 4]);
+        let models: Vec<Mtgnn> = (0..wins.len())
+            .map(|b| {
+                Mtgnn::new(
+                    v,
+                    seq,
+                    Some(&graph_for(b, v)),
+                    &ModelConfig::tiny(100 + b as u64),
+                )
+            })
+            .collect();
+        assert_cohort_matches_oracle(&models, &wins, seq, v);
     }
 }

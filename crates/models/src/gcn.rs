@@ -19,6 +19,22 @@ pub fn gcn_layer_batched(tape: &Tape, a_hat: Var, h: Var, w: Var, b: Var, wins: 
     tape.batched_linear(propagated, w, b, wins)
 }
 
+/// Grouped [`gcn_layer_batched`] over a cohort stack: group `b`'s
+/// window blocks of `h: [Σ W_b·V, F_in]` propagate through its *own*
+/// `[V, V]` matrix and `(w_b, bias_b)` pair — bit-identical per row
+/// block to the per-individual batched layer.
+pub fn gcn_layer_grouped(
+    tape: &Tape,
+    a_hats: &[Var],
+    h: Var,
+    params: &[(Var, Var)],
+    group_wins: &[usize],
+    nodes: usize,
+) -> Var {
+    let propagated = tape.group_block_lhs_matmul(a_hats, h, group_wins);
+    tape.group_linear_blocks(propagated, params, group_wins, nodes)
+}
+
 /// MTGNN's mix-hop propagation:
 ///
 /// ```text
@@ -93,6 +109,50 @@ pub fn mixhop_propagation_batched(
             h = tape.add(keep, walk);
         }
         let term = tape.batched_matmul_nt(h, w, wins);
+        out = Some(match out {
+            Some(acc) => tape.add(acc, term),
+            None => term,
+        });
+    }
+    out.expect("depth + 1 >= 1")
+}
+
+/// Grouped [`mixhop_propagation_batched`] over a cohort stack: group
+/// `b`'s window blocks of `h_in: [Σ W_b·V, F_in]` propagate through
+/// its *own* adjacency and hop weights (`hop_weights[k][b]`); `beta`
+/// and `depth` are structural and shared, so the keep/walk mixing
+/// stays a dense elementwise op.
+///
+/// # Panics
+/// Panics if `hop_weights.len() != depth + 1` or per-hop lengths
+/// mismatch the group count.
+#[allow(clippy::too_many_arguments)]
+pub fn mixhop_propagation_grouped(
+    tape: &Tape,
+    a_hats: &[Var],
+    h_in: Var,
+    hop_weights: &[Vec<Var>],
+    beta: f64,
+    depth: usize,
+    group_wins: &[usize],
+    nodes: usize,
+) -> Var {
+    assert_eq!(
+        hop_weights.len(),
+        depth + 1,
+        "mix-hop needs depth + 1 weight matrices"
+    );
+    let mut h = h_in;
+    let mut out: Option<Var> = None;
+    for (k, w_k) in hop_weights.iter().enumerate() {
+        assert_eq!(w_k.len(), a_hats.len(), "mix-hop hop {k} weight count");
+        if k > 0 {
+            let prop = tape.group_block_lhs_matmul(a_hats, h, group_wins);
+            let keep = tape.scale(h_in, beta);
+            let walk = tape.scale(prop, 1.0 - beta);
+            h = tape.add(keep, walk);
+        }
+        let term = tape.group_matmul_nt(h, w_k, group_wins, nodes);
         out = Some(match out {
             Some(acc) => tape.add(acc, term),
             None => term,

@@ -14,7 +14,8 @@
 //!   residual and skip connections;
 //! * an output module mapping skip features to the 1-lag prediction.
 
-use crate::gcn::{mixhop_propagation, mixhop_propagation_batched};
+use crate::cohort::{CohortBatch, CohortCtx, CohortForecaster};
+use crate::gcn::{mixhop_propagation, mixhop_propagation_batched, mixhop_propagation_grouped};
 use crate::{Forecaster, ForwardCtx, ModelConfig, WindowBatch};
 use ema_autodiff::{Tape, Var};
 use ema_graph::{sparsify, AdjacencyMatrix};
@@ -367,6 +368,68 @@ impl Mtgnn {
         }
         Some(masks)
     }
+
+    /// Cohort [`Mtgnn::predraw_masks`]: one `[Σ W_b·V, C]` mask per
+    /// (block, gated step), filled individual-major. Each individual's
+    /// rows are drawn from its *own* stream in its standalone
+    /// (window-major) order; a rate-0 individual's rows are filled with
+    /// 1.0 and consume zero draws, matching the passthrough its oracle
+    /// path takes. Returns `None` when no individual drops out.
+    fn predraw_masks_cohort(
+        group: &[&Self],
+        batch: &CohortBatch,
+        ctx: &mut CohortCtx,
+    ) -> Option<Vec<Vec<Tensor>>> {
+        for (b, m) in group.iter().enumerate() {
+            assert!(
+                (0.0..1.0).contains(&m.dropout),
+                "individual {b}: dropout rate must be in [0, 1), got {}",
+                m.dropout
+            );
+        }
+        if !ctx.training || group.iter().all(|m| m.dropout == 0.0) {
+            return None;
+        }
+        let first = group[0];
+        let v = batch.num_vars();
+        let c = first.blocks[0].filter.out_channels();
+        let mut lens = Vec::with_capacity(first.blocks.len());
+        let mut len = first.seq_len;
+        for block in &first.blocks {
+            len -= block.filter.shrinkage();
+            lens.push(len);
+        }
+        let total = batch.total_rows();
+        let mut masks: Vec<Vec<Tensor>> = lens
+            .iter()
+            .map(|&l| (0..l).map(|_| Tensor::zeros(&[total * v, c])).collect())
+            .collect();
+        for (b, (m, &wins)) in group.iter().zip(batch.group_wins()).enumerate() {
+            let off = batch.offset(b);
+            if m.dropout == 0.0 {
+                for (block_masks, &l) in masks.iter_mut().zip(&lens) {
+                    for mask in block_masks.iter_mut().take(l) {
+                        mask.data_mut()[off * v * c..(off + wins) * v * c].fill(1.0);
+                    }
+                }
+                continue;
+            }
+            let keep = 1.0 - m.dropout;
+            let rng = &mut ctx.rngs[b];
+            for w in 0..wins {
+                for (block_masks, &l) in masks.iter_mut().zip(&lens) {
+                    for mask in block_masks.iter_mut().take(l) {
+                        for e in &mut mask.data_mut()[(off + w) * v * c..(off + w + 1) * v * c] {
+                            if rng.bernoulli(keep) {
+                                *e = 1.0 / keep;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(masks)
+    }
 }
 
 impl Forecaster for Mtgnn {
@@ -551,6 +614,155 @@ impl Forecaster for Mtgnn {
         };
         let pred = tape.batched_linear(h1, binding.var(self.end_w2), binding.var(self.end_b2), wins); // [W·V, 1]
         tape.reshape(pred, &[wins, v])
+    }
+}
+
+impl CohortForecaster for Mtgnn {
+    fn predict_cohort(
+        group: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        batch: &CohortBatch,
+        ctx: &mut CohortCtx,
+    ) -> Var {
+        assert_eq!(group.len(), batch.num_groups(), "one window batch per model");
+        assert_eq!(group.len(), bindings.len(), "one binding per model");
+        let first = group[0];
+        for (b, model) in group.iter().enumerate() {
+            assert_eq!(
+                model.num_variables,
+                batch.num_vars(),
+                "individual {b}: batch has {} variables, model expects {}",
+                batch.num_vars(),
+                model.num_variables
+            );
+            assert_eq!(
+                model.seq_len,
+                batch.seq_len(),
+                "individual {b}: MTGNN was built for seq_len {} but got {}",
+                model.seq_len,
+                batch.seq_len()
+            );
+            assert_eq!(
+                model.depth, first.depth,
+                "individual {b}: cohort models must share the mix-hop depth"
+            );
+            assert!(
+                model.beta == first.beta,
+                "individual {b}: cohort models must share the mix-hop beta"
+            );
+        }
+        let v = batch.num_vars();
+        let group_wins = batch.group_wins();
+        let total = batch.total_rows();
+        // Dropout is the only RNG consumer; pre-draw every mask before
+        // anything else touches the tape so each individual's stream is
+        // consumed exactly as its standalone batched forward would.
+        let masks = Self::predraw_masks_cohort(group, batch, ctx);
+        // Per-individual propagation matrices (parameter-only subgraphs),
+        // in stack order — each learner/prior mode builds its own.
+        let a_hats: Vec<Var> = group
+            .iter()
+            .zip(bindings)
+            .map(|(m, bind)| m.adjacency_var(tape, bind))
+            .collect();
+
+        // Start convolution with each individual's own lift parameters.
+        let start_params: Vec<(Var, Var)> = group
+            .iter()
+            .zip(bindings)
+            .map(|(m, bind)| (bind.var(m.start_w), bind.var(m.start_b)))
+            .collect();
+        let mut seq: Vec<Var> = (0..first.seq_len)
+            .map(|t| {
+                let x = tape.leaf(batch.step(t).reshaped(&[total * v, 1]));
+                tape.group_linear_blocks(x, &start_params, group_wins, v)
+            })
+            .collect();
+
+        let mut skip_acc: Option<Var> = None;
+        for bi in 0..first.blocks.len() {
+            let filters: Vec<&DilatedTemporalConv> =
+                group.iter().map(|m| &m.blocks[bi].filter).collect();
+            let gates: Vec<&DilatedTemporalConv> =
+                group.iter().map(|m| &m.blocks[bi].gate).collect();
+            let filt =
+                DilatedTemporalConv::forward_grouped(&filters, tape, bindings, &seq, group_wins, v);
+            let gate =
+                DilatedTemporalConv::forward_grouped(&gates, tape, bindings, &seq, group_wins, v);
+            let z: Vec<Var> = filt
+                .iter()
+                .zip(gate.iter())
+                .enumerate()
+                .map(|(t, (&f, &g))| {
+                    let gt = tape.gated_tanh(f, g);
+                    match &masks {
+                        Some(m) => tape.dropout_masked(gt, m[bi][t].clone()),
+                        None => gt,
+                    }
+                })
+                .collect();
+            let z_last = *z.last().expect("non-empty conv output");
+            let skip_ws: Vec<Var> = group
+                .iter()
+                .zip(bindings)
+                .map(|(m, bind)| bind.var(m.blocks[bi].skip_w))
+                .collect();
+            let skip = tape.group_matmul_nt(z_last, &skip_ws, group_wins, v);
+            skip_acc = Some(match skip_acc {
+                Some(acc) => tape.add(acc, skip),
+                None => skip,
+            });
+            let shrink = seq.len() - z.len();
+            let hop_weights: Vec<Vec<Var>> = (0..=first.depth)
+                .map(|k| {
+                    group
+                        .iter()
+                        .zip(bindings)
+                        .map(|(m, bind)| bind.var(m.blocks[bi].mixhop[k]))
+                        .collect()
+                })
+                .collect();
+            let mut next = Vec::with_capacity(z.len());
+            for (t, &zt) in z.iter().enumerate() {
+                let g = mixhop_propagation_grouped(
+                    tape,
+                    &a_hats,
+                    zt,
+                    &hop_weights,
+                    first.beta,
+                    first.depth,
+                    group_wins,
+                    v,
+                );
+                let res = seq[t + shrink];
+                next.push(tape.add(g, res));
+            }
+            seq = next;
+        }
+
+        let last = *seq.last().expect("non-empty final sequence");
+        let skip = {
+            let acc = skip_acc.expect("at least one block");
+            tape.add(acc, last)
+        };
+        let h = tape.relu(skip);
+        let end1: Vec<(Var, Var)> = group
+            .iter()
+            .zip(bindings)
+            .map(|(m, bind)| (bind.var(m.end_w1), bind.var(m.end_b1)))
+            .collect();
+        let h1 = {
+            let lin = tape.group_linear_blocks(h, &end1, group_wins, v);
+            tape.relu(lin)
+        };
+        let end2: Vec<(Var, Var)> = group
+            .iter()
+            .zip(bindings)
+            .map(|(m, bind)| (bind.var(m.end_w2), bind.var(m.end_b2)))
+            .collect();
+        let pred = tape.group_linear_blocks(h1, &end2, group_wins, v); // [ΣW·V, 1]
+        tape.reshape(pred, &[total, v])
     }
 }
 

@@ -12,8 +12,8 @@ use ema_autodiff::{Tape, Var};
 use ema_check::{gen, prop_tests};
 use ema_graph::AdjacencyMatrix;
 use ema_models::{
-    build_model, CohortBatch, CohortCtx, CohortForecaster, Forecaster, ForwardCtx,
-    LstmForecaster, ModelConfig, ModelKind, WindowBatch,
+    build_model, A3tgcn, Astgcn, CohortBatch, CohortCtx, CohortForecaster, Forecaster,
+    ForwardCtx, LstmForecaster, ModelConfig, ModelKind, Mtgnn, WindowBatch,
 };
 use ema_nn::Binding;
 use ema_tensor::{derive_stream_seed, Rng64, Tensor};
@@ -127,14 +127,46 @@ fn check_model(kind: ModelKind, seed: u64, wins: usize, training: bool) {
     }
 }
 
-/// One cohort comparison: B independent LSTMs forward through ONE
+/// A different graph per cohort position so grouped constants are
+/// genuinely per-individual: ring, complete, or path, by index.
+fn cohort_graph(b: usize) -> AdjacencyMatrix {
+    match b % 3 {
+        0 => {
+            let mut a = AdjacencyMatrix::empty(V);
+            for i in 0..V {
+                let j = (i + 1) % V;
+                a.set_weight(i, j, 1.0);
+                a.set_weight(j, i, 1.0);
+            }
+            a
+        }
+        1 => AdjacencyMatrix::complete(V),
+        _ => {
+            let mut a = AdjacencyMatrix::empty(V);
+            for i in 0..V - 1 {
+                a.set_weight(i, i + 1, 1.0);
+                a.set_weight(i + 1, i, 1.0);
+            }
+            a
+        }
+    }
+}
+
+/// One cohort comparison: B independent models forward through ONE
 /// grouped tape graph ([`CohortForecaster::predict_cohort`]) with
 /// per-individual MSE losses summed into one scalar, vs B separate
 /// [`Forecaster::predict_batch`] graphs — values per row block AND
 /// every individual's parameter gradients must match byte for byte.
 /// Per the cohort RNG contract each individual draws from its own
-/// stream, so the oracle runs reuse the same derived seeds.
-fn check_cohort(seed: u64, groups: usize, training: bool) {
+/// stream, so the oracle runs reuse the same derived seeds. `build`
+/// constructs individual `b`'s model (with its own graph) from a seed.
+fn check_cohort<M: CohortForecaster>(
+    label: &str,
+    seed: u64,
+    groups: usize,
+    training: bool,
+    build: &dyn Fn(usize, u64) -> M,
+) {
     let mut data_rng = Rng64::seed_from(seed ^ 0x9e37_79b9);
     let mut models = Vec::with_capacity(groups);
     let mut batches = Vec::with_capacity(groups);
@@ -145,7 +177,7 @@ fn check_cohort(seed: u64, groups: usize, training: bool) {
         let windows: Vec<Tensor> = (0..wins)
             .map(|_| Tensor::rand_normal(&[SEQ, V], 0.0, 1.0, &mut data_rng))
             .collect();
-        models.push(LstmForecaster::new(V, &ModelConfig::tiny(seed.wrapping_add(b as u64))));
+        models.push(build(b, seed.wrapping_add(b as u64)));
         batches.push(WindowBatch::from_windows(&windows));
         targets.push(Tensor::rand_normal(&[wins, V], 0.0, 1.0, &mut data_rng));
         rng_seeds.push(derive_stream_seed(seed, b as u64));
@@ -155,7 +187,7 @@ fn check_cohort(seed: u64, groups: usize, training: bool) {
     let tape = Tape::new();
     let bindings: Vec<Binding> = models.iter().map(|m| m.params().bind(&tape)).collect();
     let binding_refs: Vec<&Binding> = bindings.iter().collect();
-    let group_refs: Vec<&LstmForecaster> = models.iter().collect();
+    let group_refs: Vec<&M> = models.iter().collect();
     let batch_refs: Vec<&WindowBatch> = batches.iter().collect();
     let cohort = CohortBatch::from_batches(&batch_refs);
     let mut rngs: Vec<Rng64> = rng_seeds.iter().map(|&s| Rng64::seed_from(s)).collect();
@@ -164,7 +196,7 @@ fn check_cohort(seed: u64, groups: usize, training: bool) {
     } else {
         CohortCtx::eval(&mut rngs)
     };
-    let out = LstmForecaster::predict_cohort(&group_refs, &tape, &binding_refs, &cohort, &mut ctx);
+    let out = M::predict_cohort(&group_refs, &tape, &binding_refs, &cohort, &mut ctx);
     let mut total: Option<Var> = None;
     for (b, tgt) in targets.iter().enumerate() {
         let off = cohort.offset(b);
@@ -188,17 +220,17 @@ fn check_cohort(seed: u64, groups: usize, training: bool) {
         assert_eq!(
             &cohort_val.data()[off * V..(off + wins) * V],
             val.data(),
-            "individual {b} {mode} values differ bit-wise"
+            "{label} individual {b} {mode} values differ bit-wise"
         );
         let ids = model.params().ids();
         for (i, oracle) in oracle_grads.iter().enumerate() {
             let name = model.params().name(ids[i]);
-            let label = format!("individual {b} {mode} grad `{name}`");
+            let grad_label = format!("{label} individual {b} {mode} grad `{name}`");
             let cohort_grad = grads.get(bindings[b].var(ids[i]));
             match (oracle, cohort_grad) {
-                (Some(ga), Some(gb)) => assert_bit_identical(&label, ga, gb),
+                (Some(ga), Some(gb)) => assert_bit_identical(&grad_label, ga, gb),
                 (None, None) => {}
-                _ => panic!("{label}: one path has a gradient, the other none"),
+                _ => panic!("{grad_label}: one path has a gradient, the other none"),
             }
         }
     }
@@ -240,6 +272,26 @@ prop_tests! {
     }
 
     fn lstm_cohort_matches_per_individual_oracle((seed, groups, training) in cohort_case) {
-        check_cohort(seed, groups, training);
+        check_cohort("LSTM", seed, groups, training, &|_b, s| {
+            LstmForecaster::new(V, &ModelConfig::tiny(s))
+        });
+    }
+
+    fn a3tgcn_cohort_matches_per_individual_oracle((seed, groups, training) in cohort_case) {
+        check_cohort("A3TGCN", seed, groups, training, &|b, s| {
+            A3tgcn::with_options(V, &cohort_graph(b), &ModelConfig::tiny(s), true)
+        });
+    }
+
+    fn astgcn_cohort_matches_per_individual_oracle((seed, groups, training) in cohort_case) {
+        check_cohort("ASTGCN", seed, groups, training, &|b, s| {
+            Astgcn::with_options(V, SEQ, &cohort_graph(b), &ModelConfig::tiny(s), true)
+        });
+    }
+
+    fn mtgnn_cohort_matches_per_individual_oracle((seed, groups, training) in cohort_case) {
+        check_cohort("MTGNN", seed, groups, training, &|b, s| {
+            Mtgnn::new(V, SEQ, Some(&cohort_graph(b)), &ModelConfig::tiny(s))
+        });
     }
 }

@@ -162,6 +162,102 @@ impl TemporalAttention {
         let ctx = tape.block_matmul(alpha, stacked, wins); // [W, n*H]
         tape.reshape(ctx, &[wins * n, h])
     }
+
+    /// Grouped [`TemporalAttention::weights_batched`] over a cohort
+    /// stack: each state is a `[Σ W_b·n, hidden]` individual-major
+    /// stack, and group `b`'s window rows are scored by its *own*
+    /// `(w, b, v)` parameters — bit-identical per row block to the
+    /// per-individual batched weights. All modules must share the
+    /// hidden and attention widths.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or lengths/widths mismatch.
+    pub fn weights_grouped(
+        attns: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        states: &[Var],
+        group_wins: &[usize],
+    ) -> Var {
+        assert!(!states.is_empty(), "attention over an empty sequence");
+        assert_eq!(attns.len(), bindings.len(), "one binding per module");
+        assert_eq!(attns.len(), group_wins.len(), "one window count per module");
+        let (hidden, _) = shared_dims(attns);
+        let total_wins: usize = group_wins.iter().sum();
+        let n = tape.dims(states[0])[0] / total_wins;
+        // Row-averaging matrix [1, n]; shared across windows and
+        // individuals (its own gradient is never read), so the shared
+        // block-lhs op applies with wins = Σ W_b.
+        let avg = tape.leaf(Tensor::filled(&[1, n], 1.0 / n as f64));
+        let params: Vec<(Var, Var)> = attns
+            .iter()
+            .zip(bindings)
+            .map(|(a, bind)| (bind.var(a.w), bind.var(a.b)))
+            .collect();
+        let vts: Vec<Var> = attns
+            .iter()
+            .zip(bindings)
+            .map(|(a, bind)| tape.transpose(bind.var(a.v))) // [A, 1]
+            .collect();
+        let mut scores = Vec::with_capacity(states.len());
+        for &h in states {
+            assert_eq!(tape.dims(h)[1], hidden, "hidden width mismatch in attention");
+            let mean_h = tape.block_lhs_matmul(avg, h, total_wins); // [Σ W_b, H]
+            let proj = tape.group_linear(mean_h, &params, group_wins); // [Σ W_b, A]
+            let act = tape.tanh(proj);
+            // Grouped replay per individual: each group's score pieces
+            // fold into its own vt node per window, as in the batched
+            // reference.
+            scores.push(tape.group_matmul_grouped(act, &vts, group_wins, 1)); // [Σ W_b, 1]
+        }
+        let mut logits = scores[0];
+        for &s in &scores[1..] {
+            logits = tape.hcat(logits, s); // [Σ W_b, T]
+        }
+        tape.softmax_last(logits) // [Σ W_b, T], row-wise softmax
+    }
+
+    /// Grouped [`TemporalAttention::forward_batched`]: the
+    /// attention-weighted context for every window of every individual
+    /// at once, shape `[Σ W_b·n, hidden]`.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or lengths/widths mismatch.
+    pub fn forward_grouped(
+        attns: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        states: &[Var],
+        group_wins: &[usize],
+    ) -> Var {
+        let alpha = Self::weights_grouped(attns, tape, bindings, states, group_wins); // [Σ W_b, T]
+        let total_wins: usize = group_wins.iter().sum();
+        let n = tape.dims(states[0])[0] / total_wins;
+        let h = attns[0].hidden_dim;
+        // The pooling stays a shared-structure op: window blocks divide
+        // the cohort stack uniformly, so the batched stack/block-matmul
+        // with wins = Σ W_b is bit-identical per window block.
+        let stacked = tape.stack_window_blocks(states, total_wins); // [Σ W_b·T, n*H]
+        let ctx = tape.block_matmul(alpha, stacked, total_wins); // [Σ W_b, n*H]
+        tape.reshape(ctx, &[total_wins * n, h])
+    }
+}
+
+/// Asserts every module shares the hidden/attention widths and returns
+/// them.
+fn shared_dims(attns: &[&TemporalAttention]) -> (usize, usize) {
+    let first = attns.first().expect("at least one attention module");
+    for a in attns {
+        assert_eq!(
+            a.hidden_dim, first.hidden_dim,
+            "grouped attention modules must share the hidden width"
+        );
+        assert_eq!(
+            a.attn_dim, first.attn_dim,
+            "grouped attention modules must share the attention width"
+        );
+    }
+    (first.hidden_dim, first.attn_dim)
 }
 
 #[cfg(test)]

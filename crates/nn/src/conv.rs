@@ -148,6 +148,72 @@ impl DilatedTemporalConv {
         }
         out
     }
+
+    /// Grouped [`DilatedTemporalConv::forward_batched`] over a cohort
+    /// stack: each step is a `[Σ W_b·rows, in_c]` individual-major
+    /// stack, and group `b`'s rows convolve with its *own* taps/bias —
+    /// bit-identical per row block to the per-individual batched
+    /// forward. All modules must share kernel, dilation, and widths.
+    ///
+    /// # Panics
+    /// Panics if lengths/shapes mismatch or the sequence is shorter
+    /// than the receptive field.
+    pub fn forward_grouped(
+        convs: &[&Self],
+        tape: &Tape,
+        bindings: &[&Binding],
+        seq: &[Var],
+        group_wins: &[usize],
+        block_rows: usize,
+    ) -> Vec<Var> {
+        assert_eq!(convs.len(), bindings.len(), "one binding per module");
+        assert_eq!(convs.len(), group_wins.len(), "one window count per module");
+        let first = convs.first().expect("at least one conv module");
+        for c in convs {
+            assert_eq!(
+                (c.kernel, c.dilation, c.in_channels, c.out_channels),
+                (
+                    first.kernel,
+                    first.dilation,
+                    first.in_channels,
+                    first.out_channels
+                ),
+                "grouped conv modules must share kernel/dilation/widths"
+            );
+        }
+        let span = first.shrinkage();
+        assert!(
+            seq.len() > span,
+            "sequence of {} steps is shorter than receptive field {}",
+            seq.len(),
+            span + 1
+        );
+        let biases: Vec<Var> = convs
+            .iter()
+            .zip(bindings)
+            .map(|(c, bind)| bind.var(c.bias))
+            .collect();
+        let mut out = Vec::with_capacity(seq.len() - span);
+        for t in span..seq.len() {
+            let mut acc: Option<Var> = None;
+            for j in 0..first.kernel {
+                let x = seq[t - j * first.dilation];
+                let taps_j: Vec<Var> = convs
+                    .iter()
+                    .zip(bindings)
+                    .map(|(c, bind)| bind.var(c.taps[j]))
+                    .collect();
+                let term = tape.group_matmul_nt(x, &taps_j, group_wins, block_rows);
+                acc = Some(match acc {
+                    Some(a) => tape.add(a, term),
+                    None => term,
+                });
+            }
+            let summed = acc.expect("kernel > 0");
+            out.push(tape.group_add_row_broadcast(summed, &biases, group_wins, block_rows));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

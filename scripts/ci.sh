@@ -53,9 +53,12 @@ echo "==> sharded-cohort smoke (EMA_THREADS=4)"
 # tape graph must be bit-identical to the per-individual oracle, and
 # shard boundaries must never change numbers. Covers the 2-shard ×
 # 2-individual shape alongside shard sizes 1 and 4 (the grid inside
-# the test), plus the 256-case models-layer cohort property.
-EMA_THREADS=4 cargo test --offline -p ema-models --test batched_equivalence -q lstm_cohort_matches_per_individual_oracle
+# each test) for both the LSTM and a graph model (A3TGCN exercises the
+# grouped graph-conv/attention ops end to end), plus the 256-case
+# models-layer cohort properties.
+EMA_THREADS=4 cargo test --offline -p ema-models --test batched_equivalence -q cohort_matches_per_individual_oracle
 EMA_THREADS=4 cargo test --offline --test determinism -q cohort_sharded_results_identical_across_threads_shards_and_paths
+EMA_THREADS=4 cargo test --offline --test determinism -q cohort_sharded_graph_model_identical_across_threads_shards_and_paths
 
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings

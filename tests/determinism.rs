@@ -341,13 +341,15 @@ fn cohort_sharded_results_json(
     threads: usize,
     shard_size: usize,
     path: ema_core::CohortPath,
+    model: ModelKind,
+    graph: GraphSpec,
 ) -> String {
     use ema_core::{run_cohort_sharded, Json, RunSpec, TrainConfig};
     use ema_data::{EmaGenerator, GeneratorConfig};
     use ema_models::ModelConfig;
 
     let generator = EmaGenerator::new(GeneratorConfig::quick(4, 4, 41));
-    let mut spec = RunSpec::new(ModelKind::Lstm, GraphSpec::None, 2);
+    let mut spec = RunSpec::new(model, graph, 2);
     spec.model_config = ModelConfig::tiny(0);
     spec.train_config = TrainConfig::quick(3, 7);
     spec.cohort_path = path;
@@ -382,20 +384,58 @@ fn cohort_sharded_results_json(
 fn cohort_sharded_results_identical_across_threads_shards_and_paths() {
     use ema_core::CohortPath;
 
-    let baseline = cohort_sharded_results_json(1, 1, CohortPath::Batched);
+    let run = |threads, shard, path| {
+        cohort_sharded_results_json(threads, shard, path, ModelKind::Lstm, GraphSpec::None)
+    };
+    let baseline = run(1, 1, CohortPath::Batched);
     // (4, 2) is the CI smoke shape: 2 shards × 2 individuals on a
     // 4-worker executor.
     for (threads, shard) in [(4, 4), (4, 2), (4, 1)] {
-        let probe = cohort_sharded_results_json(threads, shard, CohortPath::Batched);
+        let probe = run(threads, shard, CohortPath::Batched);
         assert!(
             baseline == probe,
             "threads={threads}, shard={shard} diverged from threads=1, shard=1:\n--- baseline ---\n{baseline}\n--- probe ---\n{probe}"
         );
     }
-    let oracle = cohort_sharded_results_json(4, 4, CohortPath::PerIndividual);
+    let oracle = run(4, 4, CohortPath::PerIndividual);
     assert!(
         baseline == oracle,
         "cohort-batched path diverged from the per-individual oracle:\n--- batched ---\n{baseline}\n--- oracle ---\n{oracle}"
+    );
+}
+
+/// Same grid for a graph model: the grouped graph-conv/attention tape
+/// ops must keep sharding invisible and match the per-individual
+/// oracle byte for byte, with each individual's training-split graph
+/// built on whichever worker generates its shard.
+#[test]
+fn cohort_sharded_graph_model_identical_across_threads_shards_and_paths() {
+    use ema_core::CohortPath;
+
+    let run = |threads, shard, path| {
+        cohort_sharded_results_json(
+            threads,
+            shard,
+            path,
+            ModelKind::A3tgcn,
+            GraphSpec::Static {
+                metric: ema_similarity::GraphMetric::Correlation,
+                gdt: ema_graph::sparsify::DensityThreshold::Gdt40,
+            },
+        )
+    };
+    let baseline = run(1, 1, CohortPath::Batched);
+    for (threads, shard) in [(4, 4), (4, 2), (4, 1)] {
+        let probe = run(threads, shard, CohortPath::Batched);
+        assert!(
+            baseline == probe,
+            "threads={threads}, shard={shard} diverged from threads=1, shard=1:\n--- baseline ---\n{baseline}\n--- probe ---\n{probe}"
+        );
+    }
+    let oracle = run(4, 4, CohortPath::PerIndividual);
+    assert!(
+        baseline == oracle,
+        "cohort-batched graph model diverged from the per-individual oracle:\n--- batched ---\n{baseline}\n--- oracle ---\n{oracle}"
     );
 }
 
