@@ -8,7 +8,10 @@
 
 use ema_bench::Harness;
 use ema_core::experiments::ExperimentScale;
-use ema_core::{run_cohort_sharded, run_cohort_with, CohortPath, Executor, GraphSpec, TrainConfig};
+use ema_core::{
+    run_cohort_sharded, run_cohort_with, CohortPath, Executor, GraphSpec, TrainConfig,
+    TrainStrategy,
+};
 use ema_data::{EmaGenerator, GeneratorConfig};
 use ema_models::{ModelConfig, ModelKind};
 use std::hint::black_box;
@@ -73,6 +76,37 @@ fn main() {
             // One full stream costs seconds; a handful of samples keeps
             // the suite under the bench budget (baseline recorded with
             // the same override).
+            b.samples(3);
+            b.iter(|| black_box(run_cohort_sharded(&generator, &spec, SHARD, &executor)));
+        });
+    }
+
+    // Cluster-then-personalize at the same study scale: K-medoids over
+    // representative individuals, 4 cluster models trained once on the
+    // caller thread, then every streamed individual fine-tunes a single
+    // epoch from its cluster checkpoint instead of training 4 epochs
+    // from scratch. Same generator, spec and shard size as the
+    // idiographic stream entries above, so the headline comparison
+    // (`cohort_stream_10k_warmstart_batched` vs
+    // `cohort_stream_10k_batched`) isolates the training-strategy win;
+    // `peak_bytes` stays (workers × shard)-bounded — the plan adds only
+    // K checkpoints plus K flattened medoid series.
+    for (name, path) in [
+        ("cohort_stream_10k_warmstart_batched", CohortPath::Batched),
+        (
+            "cohort_stream_10k_warmstart_per_individual",
+            CohortPath::PerIndividual,
+        ),
+    ] {
+        let mut spec = stream_spec.clone();
+        spec.cohort_path = path;
+        spec.train_strategy = TrainStrategy::ClusterWarmStart {
+            k: 4,
+            cluster_epochs: 4,
+            fine_tune_epochs: 1,
+        };
+        harness.bench_function(name, |b| {
+            b.items(STREAM_N as f64);
             b.samples(3);
             b.iter(|| black_box(run_cohort_sharded(&generator, &spec, SHARD, &executor)));
         });

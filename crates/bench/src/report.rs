@@ -253,6 +253,19 @@ fn render_kernel_table(out: &mut String, s: &RunSummary) {
         let rate = if total > 0 { 100.0 * hits as f64 / total as f64 } else { 0.0 };
         let _ = writeln!(out, "  pool: {hits} hits / {misses} misses ({rate:.1}% hit rate)");
     }
+    let cluster = (
+        s.counters.get("cluster.cache_hits"),
+        s.counters.get("cluster.cache_misses"),
+    );
+    if let (Some(&hits), Some(&misses)) = cluster {
+        let total = hits + misses;
+        let rate = if total > 0 { 100.0 * hits as f64 / total as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  cluster cache: {hits} hits / {misses} misses ({rate:.1}% hit rate; \
+             misses = cluster trainings, hits = warm starts)"
+        );
+    }
     if let Some(&nodes) = s.gauges.get("tape_nodes") {
         let _ = writeln!(out, "  tape: {nodes:.0} nodes per epoch graph");
     }
@@ -532,6 +545,8 @@ mod tests {
                             ("exec.cohort_fallbacks", Json::from(1u64)),
                             ("pool_hits", Json::from(90u64)),
                             ("pool_misses", Json::from(10u64)),
+                            ("cluster.cache_hits", Json::from(8u64)),
+                            ("cluster.cache_misses", Json::from(2u64)),
                         ]),
                     ),
                     ("gauges", Json::obj(vec![("tape_nodes", Json::Num(1234.0))])),
@@ -577,6 +592,10 @@ mod tests {
         assert!(report.contains("2.00"), "{report}");
         // Pool, tape, worker and latency sections all render.
         assert!(report.contains("90.0% hit rate"), "{report}");
+        assert!(
+            report.contains("cluster cache: 8 hits / 2 misses (80.0% hit rate"),
+            "{report}"
+        );
         assert!(report.contains("1234 nodes"), "{report}");
         assert!(report.contains("90.0%"), "{report}");
         assert!(report.contains("shards: 4 batches, 10 individuals (avg 2.5/shard)"), "{report}");

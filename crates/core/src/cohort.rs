@@ -28,6 +28,7 @@
 //! every `(thread count, shard size)` pair and to the per-individual
 //! oracle ([`CohortPath::PerIndividual`]).
 
+use crate::cluster::{plan_clusters, ClusterPlan, TrainStrategy};
 use crate::evaluate::{evaluate_mse, evaluate_per_variable_mse};
 use crate::exec::{expect_all, Executor, Job};
 use crate::pipeline::{graph_for_individual, run_individual, GraphSpec, IndividualOutcome, RunSpec};
@@ -71,9 +72,17 @@ pub enum CohortPath {
 /// All configs must agree on the kernel backend (one thread-local pin
 /// covers the shared graph).
 ///
+/// A config with `warm_start` set restores the checkpoint into its
+/// model before the first epoch; a warm-started config with
+/// `epochs == 0` is a pure restore — the individual never joins the
+/// active group and, per the cohort RNG contract, consumes zero
+/// training draws (exactly as its standalone
+/// [`crate::train::train_model`] run would).
+///
 /// # Panics
 /// Panics on empty inputs, length mismatches, an empty window set,
-/// zero epochs, or disagreeing kernel backends.
+/// zero epochs without a warm-start checkpoint, or disagreeing kernel
+/// backends.
 pub fn train_cohort<M: CohortForecaster>(
     models: &mut [M],
     windows: &[WindowedData],
@@ -85,7 +94,10 @@ pub fn train_cohort<M: CohortForecaster>(
     assert_eq!(n, configs.len(), "one config per model");
     for (b, (w, c)) in windows.iter().zip(configs).enumerate() {
         assert!(!w.is_empty(), "individual {b}: cannot train on zero windows");
-        assert!(c.epochs > 0, "individual {b}: need at least one epoch");
+        assert!(
+            c.epochs > 0 || c.warm_start.is_some(),
+            "individual {b}: need at least one epoch (or a warm-start checkpoint)"
+        );
         assert_eq!(
             c.kernel_backend, configs[0].kernel_backend,
             "individual {b}: cohort configs must share the kernel backend"
@@ -95,27 +107,56 @@ pub fn train_cohort<M: CohortForecaster>(
     let _span = span!("train_cohort", individuals = n);
     let obs = ema_obs::recorder();
 
-    // Per-individual state, indexed by cohort position `i`.
+    // Warm starts restore before the first epoch, exactly as
+    // `train_model` does.
+    for (model, config) in models.iter_mut().zip(configs) {
+        if let Some(ckpt) = &config.warm_start {
+            ckpt.restore(model.params_mut())
+                .expect("warm-start checkpoint must match the model architecture");
+        }
+    }
+
+    // The active group starts as every individual with a non-empty
+    // schedule; 0-epoch warm-start restores are finalized immediately
+    // with empty reports and never seed an RNG.
+    let init_idx: Vec<usize> = (0..n).filter(|&i| configs[i].epochs > 0).collect();
+    let mut reports: Vec<Option<TrainReport>> = (0..n)
+        .map(|i| {
+            (configs[i].epochs == 0).then(|| TrainReport {
+                losses: Vec::new(),
+                grad_norms: Vec::new(),
+                epochs_run: 0,
+                early_stopped: false,
+            })
+        })
+        .collect();
+    if init_idx.is_empty() {
+        return reports.into_iter().map(|r| r.expect("all restores")).collect();
+    }
+
+    // Per-individual state: `losses`/`grad_norms`/`best`/… are indexed
+    // by cohort position `i`; `rngs`/`adams` by *active* position and
+    // compacted alongside `act_idx`.
     let batches: Vec<WindowBatch> =
         windows.iter().map(|w| WindowBatch::from_windows(&w.inputs)).collect();
-    let mut adams: Vec<Adam> = configs
+    let mut adams: Vec<Adam> = init_idx
         .iter()
-        .map(|c| {
+        .map(|&i| {
             Adam::new(OptimizerConfig {
-                learning_rate: c.learning_rate,
-                grad_clip: c.grad_clip,
+                learning_rate: configs[i].learning_rate,
+                grad_clip: configs[i].grad_clip,
                 ..OptimizerConfig::default()
             })
         })
         .collect();
-    let mut rngs: Vec<Rng64> = configs.iter().map(|c| Rng64::seed_from(c.seed)).collect();
+    let mut rngs: Vec<Rng64> =
+        init_idx.iter().map(|&i| Rng64::seed_from(configs[i].seed)).collect();
     let mut losses: Vec<Vec<f64>> = configs.iter().map(|c| Vec::with_capacity(c.epochs)).collect();
     let mut grad_norms: Vec<Vec<f64>> =
         configs.iter().map(|c| Vec::with_capacity(c.epochs)).collect();
     let mut best = vec![f64::INFINITY; n];
     let mut since_best = vec![0usize; n];
     let mut early_stopped = vec![false; n];
-    let mut reports: Vec<Option<TrainReport>> = (0..n).map(|_| None).collect();
 
     // One tape and one gradient workspace for the whole run; every
     // individual's target matrix is a persistent tape prefix.
@@ -127,8 +168,9 @@ pub fn train_cohort<M: CohortForecaster>(
     // The active group: cohort positions still training, in stack
     // order. `rngs`/`adams` are compacted alongside so the forward sees
     // one contiguous RNG stream per *active* individual.
-    let mut act_idx: Vec<usize> = (0..n).collect();
-    let mut cohort_batch = CohortBatch::from_batches(&batches.iter().collect::<Vec<_>>());
+    let mut act_idx = init_idx;
+    let mut cohort_batch =
+        CohortBatch::from_batches(&act_idx.iter().map(|&i| &batches[i]).collect::<Vec<_>>());
     let mut epoch = 0usize;
     while !act_idx.is_empty() {
         tape.reset_to(keep);
@@ -260,16 +302,29 @@ pub fn cohort_batch_supported(model: ModelKind) -> bool {
 /// [`run_individual`].
 #[must_use]
 pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<IndividualOutcome> {
+    run_cohort_batch_planned(individuals, spec, None)
+}
+
+/// [`run_cohort_batch`] with an optional cluster-warm-start plan: when
+/// present, every individual is assigned to its nearest cluster from
+/// the *training* split and fine-tuned from that cluster's checkpoint
+/// (`epochs = fine_tune_epochs`, `warm_start` from the cache) instead
+/// of training from scratch. [`run_cohort_sharded`] is the caller.
+pub(crate) fn run_cohort_batch_planned(
+    individuals: &[Individual],
+    spec: &RunSpec,
+    plan: Option<&ClusterPlan>,
+) -> Vec<IndividualOutcome> {
     assert!(
         cohort_batch_supported(spec.model),
         "no cohort-batched forward for {}",
         spec.model.label()
     );
     match spec.model {
-        ModelKind::Lstm => run_cohort_batch_as(individuals, spec, |v, _graph| {
+        ModelKind::Lstm => run_cohort_batch_as(individuals, spec, plan, |v, _graph| {
             LstmForecaster::new(v, &spec.model_config)
         }),
-        ModelKind::A3tgcn => run_cohort_batch_as(individuals, spec, |v, graph| {
+        ModelKind::A3tgcn => run_cohort_batch_as(individuals, spec, plan, |v, graph| {
             A3tgcn::with_options(
                 v,
                 graph.expect("A3TGCN requires a graph"),
@@ -277,7 +332,7 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
                 spec.use_attention,
             )
         }),
-        ModelKind::Astgcn => run_cohort_batch_as(individuals, spec, |v, graph| {
+        ModelKind::Astgcn => run_cohort_batch_as(individuals, spec, plan, |v, graph| {
             Astgcn::with_options(
                 v,
                 spec.seq_len,
@@ -286,7 +341,7 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
                 spec.use_spatial_attention,
             )
         }),
-        ModelKind::Mtgnn => run_cohort_batch_as(individuals, spec, |v, graph| {
+        ModelKind::Mtgnn => run_cohort_batch_as(individuals, spec, plan, |v, graph| {
             Mtgnn::with_learner(
                 v,
                 spec.seq_len,
@@ -305,6 +360,7 @@ pub fn run_cohort_batch(individuals: &[Individual], spec: &RunSpec) -> Vec<Indiv
 fn run_cohort_batch_as<M, F>(
     individuals: &[Individual],
     spec: &RunSpec,
+    plan: Option<&ClusterPlan>,
     build: F,
 ) -> Vec<IndividualOutcome>
 where
@@ -333,8 +389,15 @@ where
         models.push(build(v, graph.as_ref()));
         train_windows.push(make_windows(&train, spec.seq_len));
         test_windows.push(make_test_windows(&train, &test, spec.seq_len));
-        let mut config = spec.train_config;
+        let mut config = spec.train_config.clone();
         config.seed = ema_tensor::derive_stream_seed(spec.train_config.seed, ind.id as u64);
+        if let Some(plan) = plan {
+            // Cluster warm start: nearest medoid by training-split
+            // series distance, fine-tune schedule from the plan.
+            let cluster = plan.assign(&train);
+            config.epochs = plan.fine_tune_epochs;
+            config.warm_start = Some(plan.checkpoint(cluster));
+        }
         configs.push(config);
         graphs.push(graph);
     }
@@ -362,11 +425,20 @@ where
             } else {
                 None
             };
+            if plan.is_some() {
+                ema_obs::recorder().observe(
+                    "cluster.fine_tune_epochs",
+                    &EPOCH_BUCKETS,
+                    report.epochs_run as f64,
+                );
+            }
             let outcome = IndividualOutcome {
                 id: ind.id,
                 mse: evaluate_mse(model, test),
                 per_variable_mse: evaluate_per_variable_mse(model, test),
-                final_train_loss: report.final_loss(),
+                // 0.0 stands in for "no training loss" on a 0-epoch
+                // warm-start restore run (nomothetic serving).
+                final_train_loss: report.final_loss_or(0.0),
                 epochs_run: report.epochs_run,
                 graph_used: graph,
                 learned_graph,
@@ -416,6 +488,14 @@ pub fn run_cohort_sharded(
         point!("cohort_fallback", model = spec.model.label());
         ema_obs::recorder().inc_counter("exec.cohort_fallbacks", 1);
     }
+    // Cluster phase (when the strategy asks for it) runs once on the
+    // calling thread before any shard job is spawned, so the plan — and
+    // through it every result — is identical at every thread count.
+    let plan = match &spec.train_strategy {
+        TrainStrategy::Idiographic => None,
+        TrainStrategy::ClusterWarmStart { .. } => Some(plan_clusters(generator, spec)),
+    };
+    let plan = plan.as_ref();
     let jobs: Vec<Job<'_, Vec<IndividualOutcome>>> = (0..n)
         .step_by(shard_size)
         .map(|start| {
@@ -427,11 +507,14 @@ pub fn run_cohort_sharded(
                 recorder.inc_counter("exec.shard_individuals", (end - start) as u64);
                 let individuals = generator.generate_range(start, end);
                 if batched {
-                    run_cohort_batch(&individuals, spec)
+                    run_cohort_batch_planned(&individuals, spec, plan)
                 } else {
                     individuals
                         .iter()
-                        .map(|ind| run_individual(ind.id, &ind.data, spec))
+                        .map(|ind| match plan {
+                            None => run_individual(ind.id, &ind.data, spec),
+                            Some(plan) => plan.run_individual_warm(ind.id, &ind.data, spec),
+                        })
                         .collect()
                 }
             })
@@ -468,7 +551,7 @@ mod tests {
         let spec = quick_spec();
         let prep = |ind: &Individual| {
             let (train, _) = split_train_test(&ind.data, spec.train_fraction);
-            let mut config = spec.train_config;
+            let mut config = spec.train_config.clone();
             config.seed = ema_tensor::derive_stream_seed(spec.train_config.seed, ind.id as u64);
             (make_windows(&train, spec.seq_len), config)
         };
@@ -532,7 +615,7 @@ mod tests {
         let mut windows = Vec::new();
         for (b, ind) in ds.individuals.iter().enumerate() {
             let (train, _) = split_train_test(&ind.data, spec.train_fraction);
-            let mut config = spec.train_config;
+            let mut config = spec.train_config.clone();
             config.seed = ema_tensor::derive_stream_seed(config.seed, ind.id as u64);
             // Stagger schedules so the group shrinks mid-run.
             config.epochs = 4 + 3 * b;

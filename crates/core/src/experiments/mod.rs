@@ -3,6 +3,7 @@
 //! design-choice ablations.
 
 mod ablation;
+mod cluster_compare;
 mod exp_a;
 mod exp_b;
 mod exp_c;
@@ -10,6 +11,9 @@ mod extensions;
 mod hyperparams;
 
 pub use ablation::run_ablation;
+pub use cluster_compare::{
+    run_cluster_compare, run_cluster_compare_with, strategies, STRATEGY_COLUMNS,
+};
 pub use exp_a::run_experiment_a;
 pub use exp_b::run_experiment_b;
 pub use exp_c::{run_experiment_c, Fig3Entry, Fig3Results};
@@ -136,7 +140,15 @@ impl ExperimentScale {
             use_attention: true,
             use_spatial_attention: true,
             cohort_path: crate::cohort::CohortPath::default(),
+            train_strategy: crate::cluster::TrainStrategy::default(),
         }
+    }
+
+    /// The cluster count K for the cluster-warm-start strategy at this
+    /// scale: roughly one cluster per four individuals, at least 2.
+    #[must_use]
+    pub fn cluster_k(&self) -> usize {
+        (self.num_individuals / 4).clamp(2, 8).min(self.num_individuals)
     }
 
     /// The kNN `k` used for the kNN metric at this scale (the paper's

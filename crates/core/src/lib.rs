@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod cluster;
 pub mod cohort;
 pub mod evaluate;
 pub mod exec;
@@ -49,6 +50,7 @@ pub mod results;
 pub mod train;
 
 pub use checkpoint::Checkpoint;
+pub use cluster::{plan_clusters, ClusterCheckpointCache, ClusterPlan, TrainStrategy};
 pub use cohort::{run_cohort_batch, run_cohort_sharded, train_cohort, CohortPath};
 pub use exec::{Backend, Executor, Job, JobError, JobResult};
 pub use forecast::{horizon_mse, iterative_forecast};

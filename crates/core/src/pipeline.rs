@@ -1,6 +1,7 @@
 //! The personalized per-individual pipeline and its parallel cohort
 //! runner (scheduled by the [`crate::exec`] cohort execution engine).
 
+use crate::cluster::TrainStrategy;
 use crate::cohort::CohortPath;
 use crate::evaluate::{evaluate_mse, evaluate_per_variable_mse};
 use crate::exec::{expect_all, Executor, Job};
@@ -77,6 +78,13 @@ pub struct RunSpec {
     /// ([`crate::cohort::run_cohort_sharded`]): the cohort-batched
     /// graph or the per-individual oracle. Bit-identical results.
     pub cohort_path: CohortPath,
+    /// How sharded cohort runs train each individual: from scratch
+    /// (idiographic) or warm-started from K-medoids cluster
+    /// checkpoints ([`crate::cluster`]). Only
+    /// [`crate::cohort::run_cohort_sharded`] applies the strategy;
+    /// direct [`run_individual`] / [`crate::cohort::run_cohort_batch`]
+    /// calls always train idiographically.
+    pub train_strategy: TrainStrategy,
 }
 
 impl RunSpec {
@@ -95,6 +103,7 @@ impl RunSpec {
             use_attention: true,
             use_spatial_attention: true,
             cohort_path: CohortPath::default(),
+            train_strategy: TrainStrategy::default(),
         }
     }
 }
@@ -198,7 +207,7 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
     // Per-individual dropout stream: derived from (run seed, id) up
     // front — never from draw order — so results are identical at any
     // thread count (see the seeding scheme in ema_tensor::random).
-    let mut train_config = spec.train_config;
+    let mut train_config = spec.train_config.clone();
     train_config.seed = ema_tensor::derive_stream_seed(spec.train_config.seed, id as u64);
     let report = {
         let _train_span = span!("train", individual = id, windows = train_windows.len());
@@ -235,7 +244,9 @@ pub fn run_individual(id: usize, data: &Tensor, spec: &RunSpec) -> IndividualOut
         id,
         mse,
         per_variable_mse,
-        final_train_loss: report.final_loss(),
+        // 0.0 stands in for "no training loss" on a 0-epoch
+        // warm-start restore run (nomothetic serving).
+        final_train_loss: report.final_loss_or(0.0),
         epochs_run: report.epochs_run,
         graph_used: graph,
         learned_graph,

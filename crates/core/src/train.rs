@@ -1,5 +1,6 @@
 //! Full-batch personalized training (paper Section V-D).
 
+use crate::checkpoint::Checkpoint;
 use ema_autodiff::{Grads, Tape};
 use ema_data::WindowedData;
 use ema_models::{Forecaster, ForwardCtx, WindowBatch};
@@ -28,7 +29,7 @@ pub enum ForwardPath {
 /// Training hyper-parameters. Defaults follow the paper: Adam with
 /// lr = 0.01, one batch per individual, 300 epochs, dropout handled by
 /// the models themselves (rate 0.3).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Number of epochs (paper: 300).
     pub epochs: usize,
@@ -52,6 +53,18 @@ pub struct TrainConfig {
     /// process resolution of `EMA_KERNEL` — SIMD where available).
     /// `Scalar` pins the bit-identity oracle regardless of environment.
     pub kernel_backend: KernelBackend,
+    /// Warm start: restore these parameters (bit-exact) over the
+    /// model's seeded init before the first epoch — the
+    /// cluster-then-personalize fine-tune path. **RNG contract:** the
+    /// model's init draws come from its own constructor RNG
+    /// (`ModelConfig::seed`), entirely separate from this config's
+    /// dropout stream, so a warm-started run consumes *identical*
+    /// training draw order to a cold run — the restore only overwrites
+    /// values. With `epochs == 0` the run is a pure restore: no
+    /// training RNG is created and zero draws are consumed.
+    /// `Arc` so one cluster checkpoint is shared across a shard's
+    /// individuals without copying parameters.
+    pub warm_start: Option<std::sync::Arc<Checkpoint>>,
 }
 
 impl Default for TrainConfig {
@@ -65,6 +78,7 @@ impl Default for TrainConfig {
             patience: 25,
             forward_path: ForwardPath::default(),
             kernel_backend: KernelBackend::default(),
+            warm_start: None,
         }
     }
 }
@@ -106,6 +120,13 @@ impl TrainReport {
         *self.losses.last().expect("at least one epoch")
     }
 
+    /// The final training loss, or `default` when no epochs ran (a
+    /// 0-epoch warm-start restore run has no training loss).
+    #[must_use]
+    pub fn final_loss_or(&self, default: f64) -> f64 {
+        self.losses.last().copied().unwrap_or(default)
+    }
+
     /// The first epoch's loss.
     ///
     /// # Panics
@@ -131,19 +152,42 @@ impl TrainReport {
 /// optimizer step is taken ("each individual's data is processed in a
 /// single batch", Sec. V-D).
 ///
+/// With `warm_start` set, the checkpoint's parameters are restored
+/// (bit-exact) over the seeded init first; `epochs == 0` is then a
+/// pure restore run that consumes zero RNG draws and returns an empty
+/// report.
+///
 /// # Panics
-/// Panics on an empty window set or zero epochs.
+/// Panics on an empty window set, or on zero epochs without a
+/// warm-start checkpoint.
 pub fn train_model(
     model: &mut dyn Forecaster,
     windows: &WindowedData,
     config: &TrainConfig,
 ) -> TrainReport {
     assert!(!windows.is_empty(), "cannot train on zero windows");
-    assert!(config.epochs > 0, "need at least one epoch");
+    assert!(
+        config.epochs > 0 || config.warm_start.is_some(),
+        "need at least one epoch (or a warm-start checkpoint to restore)"
+    );
     // Pin the configured kernel backend for the whole run. The scope is
     // thread-local and training runs entirely on the calling thread, so
     // concurrent runs with different backends cannot perturb each other.
     let _kernel = config.kernel_backend.scoped();
+    if let Some(ckpt) = &config.warm_start {
+        ckpt.restore(model.params_mut())
+            .expect("warm-start checkpoint must match the model architecture");
+    }
+    if config.epochs == 0 {
+        // Pure restore: no training RNG is ever created, no draws
+        // consumed (the warm-start RNG contract's degenerate case).
+        return TrainReport {
+            losses: Vec::new(),
+            grad_norms: Vec::new(),
+            epochs_run: 0,
+            early_stopped: false,
+        };
+    }
     let mut adam = Adam::new(OptimizerConfig {
         learning_rate: config.learning_rate,
         grad_clip: config.grad_clip,

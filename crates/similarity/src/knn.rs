@@ -2,7 +2,7 @@
 
 use crate::euclidean::{gaussian_affinity, pairwise_distances};
 use ema_graph::AdjacencyMatrix;
-use ema_tensor::Tensor;
+use ema_tensor::{pool::PooledBuf, Tensor};
 
 /// Builds the kNN graph of a `[T, V]` individual dataset: for each
 /// variable, keep the Gaussian affinities of its `k` nearest (smallest
@@ -20,27 +20,34 @@ pub fn knn_graph(data: &Tensor, k: usize) -> AdjacencyMatrix {
     let distances = pairwise_distances(data);
     let affinity = gaussian_affinity(&distances);
 
-    let mut keep = vec![false; v * v];
+    // Pooled/hoisted scratch: the V×V keep mask (0.0/1.0 flags) rides
+    // the buffer pool and one candidate vec is reused across all V
+    // rows, so repeated graph builds on one thread stop allocating
+    // per row.
+    let mut keep = PooledBuf::zeroed(v * v);
+    let mut neighbours: Vec<(usize, f64)> = Vec::with_capacity(v.saturating_sub(1));
     for i in 0..v {
-        let mut neighbours: Vec<(usize, f64)> = (0..v)
-            .filter(|&j| j != i)
-            .map(|j| (j, distances.at2(i, j)))
-            .collect();
+        neighbours.clear();
+        neighbours.extend(
+            (0..v)
+                .filter(|&j| j != i)
+                .map(|j| (j, distances.at2(i, j))),
+        );
         neighbours.sort_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.0.cmp(&b.0))
         });
         for &(j, _) in neighbours.iter().take(k) {
-            keep[i * v + j] = true;
-            keep[j * v + i] = true; // union symmetrisation
+            keep[i * v + j] = 1.0;
+            keep[j * v + i] = 1.0; // union symmetrisation
         }
     }
 
     let mut out = AdjacencyMatrix::empty(v);
     for i in 0..v {
         for j in 0..v {
-            if keep[i * v + j] {
+            if keep[i * v + j] != 0.0 {
                 out.set_weight(i, j, affinity.at2(i, j));
             }
         }

@@ -27,7 +27,12 @@ pub mod correlation;
 pub mod cosine;
 pub mod dtw;
 pub mod euclidean;
+pub mod kmedoids;
 pub mod knn;
 pub mod partial;
 
 pub use builder::{build_graph, GraphMetric};
+pub use kmedoids::{
+    argmin_distance, flatten_series, k_medoids, pairwise_series_distances, series_distance,
+    KMedoidsResult, SeriesMetric,
+};

@@ -28,7 +28,7 @@ fn main() {
     // 1. MTGNN primed with the CORR graph.
     let mtgnn_spec = RunSpec {
         model_config,
-        train_config,
+        train_config: train_config.clone(),
         ..RunSpec::new(ModelKind::Mtgnn, GraphSpec::Static { metric, gdt }, 5)
     };
     let mtgnn = run_individual(individual.id, &individual.data, &mtgnn_spec);
@@ -50,14 +50,14 @@ fn main() {
     for model in [ModelKind::A3tgcn, ModelKind::Astgcn] {
         let static_spec = RunSpec {
             model_config,
-            train_config,
+            train_config: train_config.clone(),
             ..RunSpec::new(model, GraphSpec::Static { metric, gdt }, 5)
         };
         let with_static = run_individual(individual.id, &individual.data, &static_spec);
 
         let learned_spec = RunSpec {
             model_config,
-            train_config,
+            train_config: train_config.clone(),
             ..RunSpec::new(model, GraphSpec::Provided(learned.clone()), 5)
         };
         let with_learned = run_individual(individual.id, &individual.data, &learned_spec);

@@ -56,7 +56,7 @@ fn main() {
     ] {
         let spec = RunSpec {
             model_config,
-            train_config,
+            train_config: train_config.clone(),
             ..RunSpec::new(kind, graph, 5)
         };
         let outcomes = run_cohort(&dataset, &spec);

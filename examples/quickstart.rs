@@ -32,7 +32,7 @@ fn main() {
 
     let lstm_spec = RunSpec {
         model_config,
-        train_config,
+        train_config: train_config.clone(),
         ..RunSpec::new(ModelKind::Lstm, GraphSpec::None, 5)
     };
     let lstm = run_individual(individual.id, &individual.data, &lstm_spec);

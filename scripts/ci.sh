@@ -60,6 +60,16 @@ EMA_THREADS=4 cargo test --offline -p ema-models --test batched_equivalence -q c
 EMA_THREADS=4 cargo test --offline --test determinism -q cohort_sharded_results_identical_across_threads_shards_and_paths
 EMA_THREADS=4 cargo test --offline --test determinism -q cohort_sharded_graph_model_identical_across_threads_shards_and_paths
 
+echo "==> cluster-warm-start smoke (EMA_THREADS=4)"
+# Cluster-then-personalize: the warm-started sharded cohort must stay
+# byte-identical across thread counts, shard sizes and cohort paths
+# (the plan is built once on the caller thread), and the tiny
+# cluster_compare table must render and record results JSON for all
+# four models.
+EMA_THREADS=4 cargo test --offline --test determinism -q cohort_sharded_warm_start_identical_across_threads_shards_and_paths
+EMA_THREADS=4 cargo run --offline -q --release -p ema-bench --bin cluster_compare -- --scale tiny > /dev/null
+test -s results/cluster_compare.json
+
 echo "==> cargo clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

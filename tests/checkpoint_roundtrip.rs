@@ -1,0 +1,98 @@
+//! Checkpoint round-trip hardening: save → load → save is
+//! byte-identical for every model (bit-exact f64 via `ema_core::Json`),
+//! and a warm-started `train_model` with 0 fine-tune epochs is a pure
+//! restore — it reproduces the checkpoint's predictions bitwise.
+
+use ema_core::pipeline::graph_for_individual;
+use ema_core::train::{predict_all, train_model};
+use ema_core::{Checkpoint, TrainConfig};
+use ema_data::{make_windows, split_train_test, EmaGenerator, GeneratorConfig};
+use ema_graph::sparsify::DensityThreshold;
+use ema_graph::AdjacencyMatrix;
+use ema_models::{build_model, Forecaster, ModelConfig, ModelKind};
+use ema_similarity::GraphMetric;
+use ema_tensor::Tensor;
+use std::sync::Arc;
+
+const SEQ_LEN: usize = 2;
+
+fn study_individual() -> (Tensor, AdjacencyMatrix) {
+    let generator = EmaGenerator::new(GeneratorConfig::quick(2, 4, 97));
+    let ind = generator.generate_range(1, 2).pop().expect("individual 1");
+    let (train, _) = split_train_test(&ind.data, 0.7);
+    let graph = graph_for_individual(&train, GraphMetric::Correlation, DensityThreshold::Gdt40);
+    (train, graph)
+}
+
+fn trained_model(kind: ModelKind, train: &Tensor, graph: &AdjacencyMatrix) -> Box<dyn Forecaster> {
+    let v = train.dims()[1];
+    let graph = kind.uses_graph().then_some(graph);
+    let mut model = build_model(kind, v, SEQ_LEN, &ModelConfig::tiny(5), graph);
+    let windows = make_windows(train, SEQ_LEN);
+    let config = TrainConfig::quick(3, 11);
+    let _ = train_model(&mut *model, &windows, &config);
+    model
+}
+
+/// `save → load → save` writes the same bytes for every model kind:
+/// the JSON schema is stable and f64s survive the round trip bit for
+/// bit.
+#[test]
+fn checkpoint_save_load_save_is_byte_identical() {
+    let (train, graph) = study_individual();
+    for kind in ModelKind::all() {
+        let model = trained_model(kind, &train, &graph);
+        let ckpt = Checkpoint::capture(model.params());
+        let path = std::env::temp_dir().join(format!(
+            "ema_ckpt_roundtrip_{}_{}.json",
+            kind.label(),
+            std::process::id()
+        ));
+        ckpt.save(&path).expect("save checkpoint");
+        let first = std::fs::read_to_string(&path).expect("read saved checkpoint");
+        let loaded = Checkpoint::load(&path).expect("load checkpoint");
+        loaded.save(&path).expect("re-save checkpoint");
+        let second = std::fs::read_to_string(&path).expect("read re-saved checkpoint");
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            first == second,
+            "{}: save→load→save changed bytes",
+            kind.label()
+        );
+        assert_eq!(first, ckpt.to_json(), "{}: file differs from to_json", kind.label());
+    }
+}
+
+/// A warm start with `epochs = 0` is a pure restore: a freshly built
+/// model (different init seed) restored from the checkpoint predicts
+/// bitwise what the captured model predicts — for every model kind.
+#[test]
+fn zero_epoch_warm_start_reproduces_checkpoint_predictions_bitwise() {
+    let (train, graph) = study_individual();
+    let windows = make_windows(&train, SEQ_LEN);
+    for kind in ModelKind::all() {
+        let source = trained_model(kind, &train, &graph);
+        let ckpt = Arc::new(Checkpoint::capture(source.params()));
+        let want = predict_all(&*source, &windows, 0);
+
+        // A different ModelConfig seed: the restore must overwrite
+        // every parameter, so the init draws cannot matter.
+        let v = train.dims()[1];
+        let g = kind.uses_graph().then_some(&graph);
+        let mut restored = build_model(kind, v, SEQ_LEN, &ModelConfig::tiny(1234), g);
+        let config = TrainConfig {
+            epochs: 0,
+            warm_start: Some(ckpt),
+            ..TrainConfig::quick(3, 11)
+        };
+        let report = train_model(&mut *restored, &windows, &config);
+        assert_eq!(report.epochs_run, 0, "{}: restore must not train", kind.label());
+        let got = predict_all(&*restored, &windows, 0);
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "{}: restored predictions are not bit-identical",
+            kind.label()
+        );
+    }
+}

@@ -344,6 +344,26 @@ fn cohort_sharded_results_json(
     model: ModelKind,
     graph: GraphSpec,
 ) -> String {
+    cohort_sharded_strategy_results_json(
+        threads,
+        shard_size,
+        path,
+        model,
+        graph,
+        ema_core::TrainStrategy::Idiographic,
+    )
+}
+
+/// Like [`cohort_sharded_results_json`] with an explicit training
+/// strategy, so the cluster-warm-start path runs the same grid.
+fn cohort_sharded_strategy_results_json(
+    threads: usize,
+    shard_size: usize,
+    path: ema_core::CohortPath,
+    model: ModelKind,
+    graph: GraphSpec,
+    strategy: ema_core::TrainStrategy,
+) -> String {
     use ema_core::{run_cohort_sharded, Json, RunSpec, TrainConfig};
     use ema_data::{EmaGenerator, GeneratorConfig};
     use ema_models::ModelConfig;
@@ -353,6 +373,7 @@ fn cohort_sharded_results_json(
     spec.model_config = ModelConfig::tiny(0);
     spec.train_config = TrainConfig::quick(3, 7);
     spec.cohort_path = path;
+    spec.train_strategy = strategy;
     let executor = Executor::with_threads(threads);
     let outcomes = run_cohort_sharded(&generator, &spec, shard_size, &executor);
     Json::Arr(
@@ -436,6 +457,45 @@ fn cohort_sharded_graph_model_identical_across_threads_shards_and_paths() {
     assert!(
         baseline == oracle,
         "cohort-batched graph model diverged from the per-individual oracle:\n--- batched ---\n{baseline}\n--- oracle ---\n{oracle}"
+    );
+}
+
+/// The cluster-warm-start strategy keeps the same guarantee: the plan
+/// (representatives, K-medoids, cluster checkpoints) is built once on
+/// the caller thread, and warm-started fine-tunes derive their streams
+/// from `(run seed, id)` exactly as idiographic runs do — so results
+/// are byte-identical at every `(thread count, shard size)` pair and
+/// the batched warm path matches the per-individual warm oracle.
+#[test]
+fn cohort_sharded_warm_start_identical_across_threads_shards_and_paths() {
+    use ema_core::{CohortPath, TrainStrategy};
+
+    let run = |threads, shard, path| {
+        cohort_sharded_strategy_results_json(
+            threads,
+            shard,
+            path,
+            ModelKind::Lstm,
+            GraphSpec::None,
+            TrainStrategy::ClusterWarmStart {
+                k: 2,
+                cluster_epochs: 3,
+                fine_tune_epochs: 2,
+            },
+        )
+    };
+    let baseline = run(1, 1, CohortPath::Batched);
+    for (threads, shard) in [(4, 4), (4, 1)] {
+        let probe = run(threads, shard, CohortPath::Batched);
+        assert!(
+            baseline == probe,
+            "warm start: threads={threads}, shard={shard} diverged from threads=1, shard=1:\n--- baseline ---\n{baseline}\n--- probe ---\n{probe}"
+        );
+    }
+    let oracle = run(4, 4, CohortPath::PerIndividual);
+    assert!(
+        baseline == oracle,
+        "warm-started batched path diverged from the per-individual warm oracle:\n--- batched ---\n{baseline}\n--- oracle ---\n{oracle}"
     );
 }
 
